@@ -1,0 +1,1 @@
+"""Benchmark package: one module per figure/table of the LeaFTL paper."""

@@ -1,0 +1,74 @@
+"""Ablation: segment compaction interval (Section 3.7).
+
+The paper compacts the learned table once per million writes and reports the
+whole-table compaction takes ~4.1 ms of CPU time.  This ablation measures
+(a) how much memory periodic compaction reclaims on an overwrite-heavy
+workload and (b) how long one full compaction takes on the host CPU.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.memory import format_bytes
+from repro.analysis.report import print_report, render_table
+from repro.experiments.common import run_experiment, workload_for_setup
+from repro.experiments.memory import memory_setup
+
+from benchmarks.conftest import memory_scale, run_once
+
+
+def test_ablation_compaction_interval(benchmark):
+    def run_both():
+        results = {}
+        for label, interval in (("frequent (25k writes)", 25_000), ("disabled", 10**9)):
+            setup = memory_setup(gamma=0, request_scale=memory_scale()).scaled(
+                compaction_interval_writes=interval
+            )
+            trace = workload_for_setup("FIU-mail", setup)
+            results[label] = run_experiment("FIU-mail", "LeaFTL", setup, trace=trace)
+        return results
+
+    results = run_once(benchmark, run_both)
+
+    rows = [
+        [label, format_bytes(outcome.mapping_full_bytes), outcome.ftl_details.get("segments", 0)]
+        for label, outcome in results.items()
+    ]
+    print_report(render_table(
+        ["compaction", "mapping table", "live segments"],
+        rows, title="Ablation: segment compaction (FIU-mail, overwrite-heavy)"))
+
+    compacted = results["frequent (25k writes)"].mapping_full_bytes
+    uncompacted = results["disabled"].mapping_full_bytes
+    assert compacted <= uncompacted
+
+
+def test_ablation_compaction_latency(benchmark):
+    """Wall-clock cost of one full-table compaction (paper: ~4.1 ms)."""
+    setup = memory_setup(gamma=0, request_scale=memory_scale()).scaled(
+        compaction_interval_writes=10**9
+    )
+    outcome = run_experiment("MSR-hm", "LeaFTL", setup)
+    # Rebuild a table of the same shape and time compact() directly.
+    from repro.config import LeaFTLConfig
+    from repro.core.mapping_table import LogStructuredMappingTable
+
+    table = LogStructuredMappingTable(LeaFTLConfig(gamma=0))
+    import random
+
+    rng = random.Random(0)
+    ppa = 0
+    for _ in range(300):
+        start = rng.randrange(0, 50_000)
+        lpas = sorted(set(start + rng.randrange(0, 128) for _ in range(64)))
+        table.update([(lpa, ppa + i) for i, lpa in enumerate(lpas)])
+        ppa += len(lpas)
+
+    benchmark(table.compact)
+    compact_ms = benchmark.stats.stats.mean * 1e3
+    print_report(render_table(
+        ["metric", "value", "paper"],
+        [["full compaction time (ms)", round(compact_ms, 2), "~4.1 ms (ARM)"]],
+        title="Ablation: compaction latency"))
+    assert compact_ms < 500

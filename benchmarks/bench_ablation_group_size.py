@@ -1,0 +1,60 @@
+"""Ablation: LPA group size (Section 3.2 picks 256).
+
+The paper chooses groups of 256 contiguous LPAs because learned segments are
+almost always shorter than 256 mappings (Figure 5), so the 1-byte group
+offset never truncates a segment.  Smaller groups chop long sequential runs
+into more segments; this ablation quantifies that.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.memory import format_bytes
+from repro.analysis.report import print_report, render_table
+from repro.config import LeaFTLConfig
+from repro.core.mapping_table import LogStructuredMappingTable
+from repro.experiments.common import workload_for_setup
+from repro.experiments.memory import memory_setup
+
+from benchmarks.conftest import memory_scale, run_once
+
+GROUP_SIZES = (64, 128, 256)
+
+
+def test_ablation_group_size(benchmark):
+    setup = memory_setup(gamma=0, request_scale=memory_scale())
+    trace = workload_for_setup("MSR-usr", setup)
+    write_batches = []
+    batch = []
+    for request in trace:
+        if request.is_write:
+            for lpa in request.pages():
+                batch.append(lpa)
+                if len(batch) == 256:
+                    write_batches.append(batch)
+                    batch = []
+    if batch:
+        write_batches.append(batch)
+
+    def learn_with_group_sizes():
+        results = {}
+        for group_size in GROUP_SIZES:
+            table = LogStructuredMappingTable(LeaFTLConfig(gamma=0, group_size=group_size))
+            ppa = 0
+            for lpas in write_batches:
+                unique = sorted(set(lpas))
+                table.update([(lpa, ppa + i) for i, lpa in enumerate(unique)])
+                ppa += len(unique)
+            results[group_size] = table
+        return results
+
+    tables = run_once(benchmark, learn_with_group_sizes)
+
+    rows = [
+        [size, tables[size].segment_count(), format_bytes(tables[size].memory_bytes())]
+        for size in GROUP_SIZES
+    ]
+    print_report(render_table(
+        ["group size (LPAs)", "segments", "mapping table"],
+        rows, title="Ablation: LPA group size"))
+
+    assert tables[256].segment_count() <= tables[64].segment_count()

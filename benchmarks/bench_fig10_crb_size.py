@@ -1,0 +1,31 @@
+"""Figure 10: distribution of CRB sizes per workload (gamma = 4).
+
+The paper measures an average CRB of ~14 bytes per group; the key property
+is that conflict-resolution metadata stays tiny (well under the 256-byte
+worst case).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import print_report, render_table
+from repro.experiments.segments import crb_size_distribution
+
+from benchmarks.conftest import CORE_SIMULATOR_WORKLOADS, memory_scale, run_once
+
+
+def test_fig10_crb_size_distribution(benchmark):
+    results = run_once(
+        benchmark, crb_size_distribution, CORE_SIMULATOR_WORKLOADS, 4, memory_scale()
+    )
+
+    rows = [
+        [workload, round(average, 1), round(p99, 1)]
+        for workload, (average, p99) in results.items()
+    ]
+    print_report(render_table(
+        ["workload", "average CRB bytes", "p99 CRB bytes"], rows,
+        title="Figure 10: CRB size per LPA group (gamma = 4)"))
+
+    for workload, (average, p99) in results.items():
+        assert average < 256, f"{workload}: CRB average {average} exceeds one group"
+        assert p99 <= 300

@@ -1,0 +1,26 @@
+"""Figure 17: performance on the real-SSD (database) workloads.
+
+The paper reports LeaFTL obtaining a 1.4x average speedup (up to 1.5x) over
+SFTL and DFTL across SEATS, AuctionMark, TPC-C, OLTP and CompFlow.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import print_report, render_series
+from repro.experiments.performance import normalized_performance
+
+from benchmarks.conftest import CORE_DATABASE_WORKLOADS, perf_setup, run_once
+
+
+def test_fig17_database_performance(benchmark):
+    setup = perf_setup(dram_policy="cache_reserved")
+    table = run_once(benchmark, normalized_performance, CORE_DATABASE_WORKLOADS, setup)
+
+    print_report(render_series(
+        "Figure 17: normalized read latency on database workloads (lower is better)",
+        {wl: {s: round(v, 3) for s, v in row.items()} for wl, row in table.items()},
+        column_order=("DFTL", "SFTL", "LeaFTL"),
+    ))
+
+    leaftl_mean = sum(row["LeaFTL"] for row in table.values()) / len(table)
+    assert leaftl_mean < 1.0

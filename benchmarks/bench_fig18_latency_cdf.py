@@ -1,0 +1,28 @@
+"""Figure 18: latency distribution of storage accesses for the OLTP workload.
+
+The paper shows that LeaFTL does not increase the tail latency while the
+higher cache hit ratio reduces the latency of many accesses.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import print_report, render_series
+from repro.experiments.performance import latency_distribution
+
+from benchmarks.conftest import perf_setup, run_once
+
+
+def test_fig18_oltp_latency_cdf(benchmark):
+    setup = perf_setup(dram_policy="cache_reserved")
+    cdf = run_once(benchmark, latency_distribution, "OLTP", setup)
+
+    print_report(render_series(
+        "Figure 18: OLTP read latency (us) at CDF points",
+        {scheme: {f"{p:g}%": round(v, 1) for p, v in points.items()}
+         for scheme, points in cdf.items()},
+    ))
+
+    # LeaFTL's tail (99.9th percentile) stays within 1.5x of the baselines.
+    assert cdf["LeaFTL"][99.9] <= 1.5 * max(cdf["DFTL"][99.9], cdf["SFTL"][99.9], 1.0)
+    # And the median-ish latency is no worse than DFTL's.
+    assert cdf["LeaFTL"][60.0] <= cdf["DFTL"][60.0] + 1.0

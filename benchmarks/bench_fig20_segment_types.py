@@ -1,0 +1,29 @@
+"""Figure 20: accurate vs approximate segment mix as gamma grows.
+
+With gamma = 0 every learned segment is accurate; the paper reports ~26.5%
+approximate segments at gamma = 16.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import print_report, render_table
+from repro.experiments.segments import segment_type_shares
+
+from benchmarks.conftest import CORE_SIMULATOR_WORKLOADS, memory_scale, run_once
+
+GAMMAS = (0, 1, 4, 16)
+
+
+def test_fig20_segment_type_distribution(benchmark):
+    shares = run_once(
+        benchmark, segment_type_shares, CORE_SIMULATOR_WORKLOADS, GAMMAS, memory_scale()
+    )
+
+    rows = [[f"gamma={gamma}", round(acc, 1), round(apx, 1)] for gamma, (acc, apx) in shares.items()]
+    print_report(render_table(
+        ["configuration", "accurate %", "approximate %"], rows,
+        title="Figure 20: learned segment types"))
+
+    assert shares[0][1] == 0.0, "gamma=0 must produce only accurate segments"
+    assert shares[16][1] > shares[1][1], "approximate share must grow with gamma"
+    assert shares[16][1] > 5.0

@@ -1,0 +1,46 @@
+"""Figure 22: sensitivity to DRAM capacity (a) and flash page size (b).
+
+The paper varies the SSD DRAM from 256 MB to 1 GB and the flash page size
+from 4 KB to 16 KB (fixing the number of pages); LeaFTL outperforms DFTL and
+SFTL at every point.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import print_report, render_series
+from repro.experiments.performance import dram_size_sensitivity, page_size_sensitivity
+
+from benchmarks.conftest import perf_setup, run_once
+
+WORKLOADS = ("TPCC", "FIU-mail")
+#: Scaled-down equivalents of the paper's 256 MB / 512 MB / 1 GB sweep.
+DRAM_SIZES = (128 * 1024, 256 * 1024, 512 * 1024)
+PAGE_SIZES = (4096, 8192, 16384)
+
+
+def test_fig22a_dram_size_sensitivity(benchmark):
+    setup = perf_setup(dram_policy="cache_reserved")
+    table = run_once(benchmark, dram_size_sensitivity, WORKLOADS, DRAM_SIZES, setup)
+
+    print_report(render_series(
+        "Figure 22(a): normalized read latency vs DRAM size (lower is better)",
+        {f"{dram // 1024} KB DRAM": {s: round(v, 3) for s, v in row.items()}
+         for dram, row in table.items()},
+        column_order=("DFTL", "SFTL", "LeaFTL"),
+    ))
+    for dram, row in table.items():
+        assert row["LeaFTL"] <= 1.02, f"LeaFTL slower than DFTL at {dram} bytes DRAM"
+
+
+def test_fig22b_page_size_sensitivity(benchmark):
+    setup = perf_setup(dram_policy="cache_reserved")
+    table = run_once(benchmark, page_size_sensitivity, WORKLOADS, PAGE_SIZES, setup)
+
+    print_report(render_series(
+        "Figure 22(b): normalized read latency vs flash page size (lower is better)",
+        {f"{page // 1024} KB pages": {s: round(v, 3) for s, v in row.items()}
+         for page, row in table.items()},
+        column_order=("DFTL", "SFTL", "LeaFTL"),
+    ))
+    for page, row in table.items():
+        assert row["LeaFTL"] <= 1.05, f"LeaFTL slower than DFTL at page size {page}"

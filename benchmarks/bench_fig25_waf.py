@@ -1,0 +1,31 @@
+"""Figure 25: write amplification factor (SSD lifetime impact).
+
+The paper shows LeaFTL's WAF is comparable to DFTL and SFTL (DFTL is usually
+the worst because of its translation-page write-backs), i.e. the learned
+mapping does not age the SSD faster.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import print_report, render_series
+from repro.experiments.performance import write_amplification
+
+from benchmarks.conftest import perf_setup, run_once
+
+WORKLOADS = ("MSR-prxy", "FIU-mail", "TPCC", "OLTP")
+
+
+def test_fig25_write_amplification(benchmark):
+    setup = perf_setup()
+    table = run_once(benchmark, write_amplification, WORKLOADS, setup)
+
+    print_report(render_series(
+        "Figure 25: write amplification factor (lower is better)",
+        {wl: {s: round(v, 3) for s, v in row.items()} for wl, row in table.items()},
+        column_order=("DFTL", "SFTL", "LeaFTL"),
+    ))
+
+    for workload, row in table.items():
+        assert row["LeaFTL"] >= 1.0 or row["LeaFTL"] == 0.0
+        # LeaFTL must not amplify writes meaningfully more than the baselines.
+        assert row["LeaFTL"] <= max(row["DFTL"], row["SFTL"]) * 1.15, workload

@@ -1,0 +1,83 @@
+"""Table 3: overhead of segment learning and LPA lookup.
+
+The paper measures 9.8-10.8 us to learn a batch of 256 mappings and
+40-68 ns per LPA lookup on an ARM Cortex-A72.  This benchmark measures the
+same operations on the host CPU (absolute numbers differ; the claim that the
+learning cost is negligible relative to the 256 flash programs it rides on —
+0.02% of the write latency — is what the assertion checks).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.report import print_report, render_table
+from repro.config import LeaFTLConfig, SSDConfig
+from repro.core.mapping_table import LogStructuredMappingTable
+from repro.core.plr import PLRLearner
+
+
+def batch_of_256(gamma_seed: int = 0):
+    """A learning batch shaped like a buffer flush: mixed patterns, sorted."""
+    rng = random.Random(gamma_seed)
+    lpas = set()
+    base = 0
+    while len(lpas) < 256:
+        kind = rng.random()
+        start = base + rng.randrange(0, 64)
+        if kind < 0.5:
+            lpas.update(range(start, start + 32))
+        elif kind < 0.8:
+            lpas.update(range(start, start + 64, rng.choice((2, 4))))
+        else:
+            lpas.update(start + rng.randrange(0, 256) for _ in range(8))
+        base += 256
+    lpas = sorted(lpas)[:256]
+    return [(lpa, 10_000 + i) for i, lpa in enumerate(lpas)]
+
+
+@pytest.mark.parametrize("gamma", [0, 1, 4])
+def test_table3_learning_time(benchmark, gamma):
+    learner = PLRLearner(gamma=gamma)
+    batch = batch_of_256(gamma)
+
+    benchmark(learner.learn, batch)
+
+    learn_us = benchmark.stats.stats.mean * 1e6
+    flash_cost_us = 256 * SSDConfig().write_latency_us
+    print_report(render_table(
+        ["metric", "value", "paper (ARM A72)"],
+        [["gamma", gamma, gamma],
+         ["learning time per 256 mappings (us)", round(learn_us, 1), "9.8-10.8"],
+         ["share of the 256 flash programs (%)", round(100 * learn_us / flash_cost_us, 3), "0.02"]],
+        title="Table 3: segment learning overhead"))
+    # Learning must remain negligible vs the flash programs it accompanies.
+    assert learn_us < 0.05 * flash_cost_us
+
+
+@pytest.mark.parametrize("gamma", [0, 4])
+def test_table3_lookup_time(benchmark, gamma):
+    table = LogStructuredMappingTable(LeaFTLConfig(gamma=gamma))
+    rng = random.Random(3)
+    ppa = 0
+    for _ in range(100):
+        batch = batch_of_256(rng.randrange(10_000))
+        table.update([(lpa, ppa + i) for i, (lpa, _) in enumerate(batch)])
+        ppa += len(batch)
+    probes = [rng.randrange(0, 30_000) for _ in range(2000)]
+
+    def lookup_all():
+        for lpa in probes:
+            table.lookup(lpa)
+
+    benchmark(lookup_all)
+    per_lookup_ns = benchmark.stats.stats.mean / len(probes) * 1e9
+    print_report(render_table(
+        ["metric", "value", "paper (ARM A72)"],
+        [["gamma", gamma, gamma],
+         ["lookup time per LPA (ns)", round(per_lookup_ns, 1), "40.2-67.5"]],
+        title="Table 3: LPA lookup overhead"))
+    # A lookup must stay far below the 20 us flash read it precedes.
+    assert per_lookup_ns < 0.5 * SSDConfig().read_latency_us * 1000

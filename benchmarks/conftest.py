@@ -1,0 +1,48 @@
+"""Shared configuration for the figure-reproduction benchmarks.
+
+Every file in this directory regenerates one table or figure of the LeaFTL
+paper (see DESIGN.md for the index).  The workloads are scaled down so the
+whole suite finishes on a laptop; set the environment variable
+``REPRO_BENCH_SCALE`` (default 1.0) to scale the replayed request counts up
+or down, e.g.::
+
+    REPRO_BENCH_SCALE=4 pytest benchmarks/ --benchmark-only
+
+Each benchmark prints the rows/series of its figure, so running with ``-s``
+shows the reproduced numbers next to the timing measurements.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentSetup, bench_scale
+
+#: Workloads used by the heavier sweeps (a representative subset of the 12).
+CORE_SIMULATOR_WORKLOADS = ("MSR-hm", "MSR-prxy", "MSR-usr", "FIU-mail")
+CORE_DATABASE_WORKLOADS = ("TPCC", "SEATS", "OLTP")
+CORE_WORKLOADS = CORE_SIMULATOR_WORKLOADS + CORE_DATABASE_WORKLOADS
+
+
+def perf_setup(**overrides: object) -> ExperimentSetup:
+    """Performance-measurement setup (warm-up enabled, small device)."""
+    defaults = dict(
+        capacity_bytes=512 * 1024 * 1024,
+        dram_bytes=256 * 1024,
+        warmup_fraction=0.5,
+        request_scale=0.08 * bench_scale(),
+        footprint_scale=0.35,
+        compaction_interval_writes=100_000,
+    )
+    defaults.update(overrides)
+    return ExperimentSetup(**defaults)  # type: ignore[arg-type]
+
+
+def memory_scale() -> float:
+    """Request scale used by the footprint/structure benchmarks."""
+    return 0.15 * bench_scale()
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,35 @@
+"""Analysis helpers: latency statistics, memory accounting, report formatting."""
+
+from repro.analysis.latency import (
+    histogram_cdf,
+    latency_cdf,
+    normalize,
+    percentile,
+    speedup,
+    value_at_cdf,
+)
+from repro.analysis.memory import (
+    format_bytes,
+    geometric_mean,
+    normalized_size,
+    reduction_factor,
+    reduction_table,
+)
+from repro.analysis.report import print_report, render_series, render_table
+
+__all__ = [
+    "histogram_cdf",
+    "latency_cdf",
+    "normalize",
+    "percentile",
+    "speedup",
+    "value_at_cdf",
+    "format_bytes",
+    "geometric_mean",
+    "normalized_size",
+    "reduction_factor",
+    "reduction_table",
+    "print_report",
+    "render_series",
+    "render_table",
+]

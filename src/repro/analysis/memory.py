@@ -1,0 +1,60 @@
+"""Mapping-table memory analysis (Figures 15 and 19)."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human-readable byte count (e.g. ``'1.5 MB'``)."""
+    value = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024.0 or unit == "TB":
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    return f"{value:.1f} TB"
+
+
+def reduction_factor(baseline_bytes: float, candidate_bytes: float) -> float:
+    """How many times smaller ``candidate`` is than ``baseline`` (Figure 15's y-axis)."""
+    if candidate_bytes <= 0:
+        return float("inf") if baseline_bytes > 0 else 1.0
+    return baseline_bytes / candidate_bytes
+
+
+def reduction_table(footprints: Mapping[str, Mapping[str, float]], baseline: str) -> Dict[str, Dict[str, float]]:
+    """Per-workload reduction factors of every scheme relative to ``baseline``.
+
+    ``footprints`` maps workload -> scheme -> mapping-table bytes.
+    """
+    table: Dict[str, Dict[str, float]] = {}
+    for workload, by_scheme in footprints.items():
+        if baseline not in by_scheme:
+            raise KeyError(f"baseline {baseline!r} missing for workload {workload!r}")
+        base = by_scheme[baseline]
+        table[workload] = {
+            scheme: reduction_factor(base, size) for scheme, size in by_scheme.items()
+        }
+    return table
+
+
+def normalized_size(footprints: Mapping[str, float], baseline: str) -> Dict[str, float]:
+    """Mapping-table size of each configuration normalized to ``baseline``.
+
+    This is the y-axis of Figure 19 (lower is better).
+    """
+    base = footprints[baseline]
+    if base == 0:
+        return {key: 0.0 for key in footprints}
+    return {key: value / base for key, value in footprints.items()}
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean, used for "on average" claims across workloads."""
+    items = [v for v in values if v > 0]
+    if not items:
+        return 0.0
+    product = 1.0
+    for value in items:
+        product *= value
+    return product ** (1.0 / len(items))

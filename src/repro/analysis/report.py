@@ -1,0 +1,69 @@
+"""Plain-text report formatting for the benchmark harness.
+
+Every benchmark prints the rows/series of its paper figure through these
+helpers so the output of ``pytest benchmarks/ --benchmark-only`` can be read
+side by side with the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+
+def format_cell(value: object, precision: int = 3) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.{precision}f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an ASCII table with aligned columns."""
+    text_rows = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in text_rows)
+    return "\n".join(parts)
+
+
+def render_series(
+    title: str, series: Mapping[str, Mapping[str, Number]], column_order: Optional[Sequence[str]] = None
+) -> str:
+    """Render a dict-of-dicts (row label -> column label -> value) as a table."""
+    columns: List[str] = list(column_order) if column_order else []
+    if not columns:
+        seen = []
+        for row in series.values():
+            for key in row:
+                if key not in seen:
+                    seen.append(key)
+        columns = seen
+    headers = [""] + list(columns)
+    rows = [[label] + [row.get(col, "") for col in columns] for label, row in series.items()]
+    return render_table(headers, rows, title=title)
+
+
+def print_report(text: str) -> None:
+    """Print a report block surrounded by blank lines (pytest -s friendly)."""
+    print("\n" + text + "\n")

@@ -1,0 +1,122 @@
+"""Conflict Resolution Buffer (CRB) — Section 3.4, Figures 9 and 10.
+
+Approximate segments are learned from irregular access patterns, so the LPAs
+they encode cannot be reconstructed from their ``(S_LPA, L, K, I)`` metadata.
+When approximate segments with overlapping LPA ranges coexist in the mapping
+table, a lookup could pick the wrong one.  The CRB resolves this: per LPA
+group, it remembers which LPAs belong to which approximate segment.
+
+The paper stores the CRB as a nearly-sorted byte array of group-relative LPA
+offsets where the LPAs of one segment are contiguous, segments are separated
+by a null byte, and no LPA appears twice (newer segments steal LPAs from
+older ones).  This implementation keeps one sorted LPA list per approximate
+segment keyed by segment identity, which preserves all of those invariants —
+uniqueness, per-segment contiguity, sorted order — while avoiding the
+paper's S_LPA-collision renaming rule (object identity already disambiguates
+two segments that start at the same LPA).  The byte accounting matches the
+paper: one byte per stored LPA offset plus one separator byte per segment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.segment import Segment
+
+
+class ConflictResolutionBuffer:
+    """Per-group registry of the LPAs owned by each approximate segment."""
+
+    def __init__(self) -> None:
+        #: segment -> sorted list of LPAs it currently owns.
+        self._lpas_of: Dict[Segment, List[int]] = {}
+        #: lpa -> owning segment (the inverse index; keeps lookups O(1)).
+        self._owner_of: Dict[int, Segment] = {}
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        """Number of LPA entries stored (excludes separators)."""
+        return len(self._owner_of)
+
+    def segment_count(self) -> int:
+        return len(self._lpas_of)
+
+    def size_bytes(self) -> int:
+        """DRAM bytes: one byte per LPA offset plus a null byte per segment."""
+        return len(self._owner_of) + len(self._lpas_of)
+
+    def owner(self, lpa: int) -> Optional[Segment]:
+        """The approximate segment that currently owns ``lpa`` (if any)."""
+        return self._owner_of.get(lpa)
+
+    def lpas_of(self, segment: Segment) -> List[int]:
+        """The LPAs currently owned by ``segment`` (sorted, possibly empty)."""
+        return list(self._lpas_of.get(segment, []))
+
+    def contains_segment(self, segment: Segment) -> bool:
+        return segment in self._lpas_of
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def insert_segment(self, segment: Segment, lpas: Iterable[int]) -> None:
+        """Register a new approximate segment and the LPAs it owns.
+
+        Any of those LPAs previously owned by another segment are removed
+        from that segment's entry first (the paper's "no redundant LPAs"
+        invariant): the newest segment always wins ownership.
+        """
+        owned = sorted(set(lpas))
+        if not owned:
+            return
+        for lpa in owned:
+            previous = self._owner_of.get(lpa)
+            if previous is not None and previous is not segment:
+                self._discard_lpa(previous, lpa)
+            self._owner_of[lpa] = segment
+        self._lpas_of[segment] = owned
+
+    def remove_segment(self, segment: Segment) -> None:
+        """Drop a segment and all LPAs it owns (segment removed from the table)."""
+        owned = self._lpas_of.pop(segment, None)
+        if not owned:
+            return
+        for lpa in owned:
+            if self._owner_of.get(lpa) is segment:
+                del self._owner_of[lpa]
+
+    def retain_lpas(self, segment: Segment, keep: Iterable[int]) -> None:
+        """Restrict ``segment``'s entry to ``keep`` (outdated LPAs dropped).
+
+        Used by the merge procedure (Algorithm 2, line 25) after a victim
+        segment has been trimmed: only the still-valid LPAs remain owned.
+        """
+        if segment not in self._lpas_of:
+            return
+        keep_set = set(keep)
+        current = self._lpas_of[segment]
+        remaining = [lpa for lpa in current if lpa in keep_set]
+        for lpa in current:
+            if lpa not in keep_set and self._owner_of.get(lpa) is segment:
+                del self._owner_of[lpa]
+        if remaining:
+            self._lpas_of[segment] = remaining
+        else:
+            del self._lpas_of[segment]
+
+    def _discard_lpa(self, segment: Segment, lpa: int) -> None:
+        entry = self._lpas_of.get(segment)
+        if entry is None:
+            return
+        try:
+            entry.remove(lpa)
+        except ValueError:
+            return
+        if not entry:
+            del self._lpas_of[segment]
+
+    def clear(self) -> None:
+        self._lpas_of.clear()
+        self._owner_of.clear()

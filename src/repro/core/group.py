@@ -1,0 +1,221 @@
+"""Per-group log-structured segment management (Sections 3.4 and 3.7).
+
+The LPA space is partitioned into groups of 256 contiguous LPAs.  Each group
+owns a small log-structured collection of learned segments organised in
+levels — level 0 holds the most recently learned segments, lower levels hold
+older ones — plus a Conflict Resolution Buffer for its approximate segments.
+
+This module implements Algorithm 1 (``seg_update``, ``lookup``,
+``seg_compact``) and Algorithm 2 (``has_lpa``, ``get_bitmap``, ``seg_merge``)
+of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.crb import ConflictResolutionBuffer
+from repro.core.level import Level
+from repro.core.plr import LearnedSegment
+from repro.core.segment import GROUP_SIZE, SEGMENT_BYTES, Segment
+
+
+@dataclass
+class GroupLookup:
+    """Result of a group-level LPA lookup."""
+
+    ppa: Optional[int]
+    levels_searched: int
+    segment: Optional[Segment] = None
+
+    @property
+    def found(self) -> bool:
+        return self.ppa is not None
+
+
+class LPAGroup:
+    """The learned mapping state of one 256-LPA group."""
+
+    def __init__(self, group_base: int, group_size: int = GROUP_SIZE) -> None:
+        self.group_base = group_base
+        self.group_size = group_size
+        self._levels: List[Level] = []
+        self.crb = ConflictResolutionBuffer()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def level_count(self) -> int:
+        return len(self._levels)
+
+    def levels(self) -> List[Level]:
+        return list(self._levels)
+
+    def segment_count(self) -> int:
+        return sum(len(level) for level in self._levels)
+
+    def segments(self) -> List[Segment]:
+        """All segments, topmost level first."""
+        result: List[Segment] = []
+        for level in self._levels:
+            result.extend(level.segments())
+        return result
+
+    def memory_bytes(self, level_overhead_bytes: int = 0) -> int:
+        """DRAM footprint: 8 bytes per segment + CRB + per-level overhead."""
+        return (
+            self.segment_count() * SEGMENT_BYTES
+            + self.crb.size_bytes()
+            + self.level_count * level_overhead_bytes
+        )
+
+    # ------------------------------------------------------------------ #
+    # Membership (Algorithm 2, has_lpa)
+    # ------------------------------------------------------------------ #
+    def has_lpa(self, segment: Segment, lpa: int) -> bool:
+        """Does ``segment`` currently encode a mapping for ``lpa``?"""
+        if not segment.covers(lpa):
+            return False
+        if segment.accurate:
+            return segment.has_lpa_accurate(lpa)
+        return self.crb.owner(lpa) is segment
+
+    def covered_lpas(self, segment: Segment) -> List[int]:
+        """The LPAs ``segment`` currently encodes (metadata or CRB driven)."""
+        if segment.is_removable:
+            return []
+        if segment.accurate:
+            return list(segment.covered_lpas_accurate())
+        return [lpa for lpa in self.crb.lpas_of(segment) if segment.covers(lpa)]
+
+    # ------------------------------------------------------------------ #
+    # Update path (Algorithm 1, seg_update)
+    # ------------------------------------------------------------------ #
+    def update(self, learned: LearnedSegment) -> None:
+        """Insert a freshly learned segment at the topmost level."""
+        segment = learned.segment
+        if segment.group_base != self.group_base:
+            raise ValueError("segment belongs to a different group")
+        if not segment.accurate:
+            self.crb.insert_segment(segment, learned.lpas)
+        self._insert_at_level(segment, 0)
+
+    def _level_at(self, index: int) -> Level:
+        while len(self._levels) <= index:
+            self._levels.append(Level())
+        return self._levels[index]
+
+    def _insert_at_level(self, segment: Segment, level_index: int) -> None:
+        """Algorithm 1, lines 1-16: insert + merge + demote victims."""
+        level = self._level_at(level_index)
+        level.insert(segment)
+
+        victims = [
+            candidate
+            for candidate in level.overlapping(segment.start_lpa, segment.end_lpa)
+            if candidate is not segment
+        ]
+        for victim in victims:
+            self._merge(segment, victim)
+            if victim.is_removable:
+                level.remove(victim)
+                if not victim.accurate:
+                    self.crb.remove_segment(victim)
+            elif segment.overlaps(victim):
+                # The victim still holds valid LPAs inside the new segment's
+                # range: demote it so the newer segment shadows it.
+                level.remove(victim)
+                self._demote(victim, level_index + 1)
+            else:
+                # Trimmed but disjoint now; its start may have moved, so
+                # restore the level's sort order.
+                level.reposition(victim)
+
+    def _demote(self, victim: Segment, target_index: int) -> None:
+        """Push a victim one level down, creating a level to avoid recursion."""
+        if target_index >= len(self._levels):
+            self._level_at(target_index).insert(victim)
+            return
+        target = self._levels[target_index]
+        if target.overlaps_range(victim.start_lpa, victim.end_lpa):
+            # Algorithm 1, line 15-16: never merge recursively — give the
+            # victim its own level right above the conflicting one.
+            fresh = Level()
+            fresh.insert(victim)
+            self._levels.insert(target_index, fresh)
+        else:
+            target.insert(victim)
+
+    # ------------------------------------------------------------------ #
+    # Merge (Algorithm 2)
+    # ------------------------------------------------------------------ #
+    def _bitmap(self, segment: Segment, start: int, end: int) -> List[bool]:
+        """Algorithm 2, get_bitmap: mark the LPAs the segment encodes."""
+        return [self.has_lpa(segment, lpa) for lpa in range(start, end + 1)]
+
+    def _merge(self, new: Segment, old: Segment) -> None:
+        """Remove from ``old`` every LPA that ``new`` now encodes."""
+        start = min(new.start_lpa, old.start_lpa)
+        end = max(new.end_lpa, old.end_lpa)
+        bitmap_new = self._bitmap(new, start, end)
+        bitmap_old = self._bitmap(old, start, end)
+        remaining = [
+            old_bit and not new_bit for old_bit, new_bit in zip(bitmap_old, bitmap_new)
+        ]
+        if not any(remaining):
+            old.mark_removable()
+            return
+        first = remaining.index(True)
+        last = len(remaining) - 1 - remaining[::-1].index(True)
+        old.start_lpa = start + first
+        old.length = last - first
+        if not old.accurate:
+            keep = [start + i for i, bit in enumerate(remaining) if bit]
+            self.crb.retain_lpas(old, keep)
+
+    # ------------------------------------------------------------------ #
+    # Lookup (Algorithm 1, lookup)
+    # ------------------------------------------------------------------ #
+    def lookup(self, lpa: int) -> GroupLookup:
+        """Top-down search for the newest segment that encodes ``lpa``."""
+        for depth, level in enumerate(self._levels, start=1):
+            segment = level.find_covering(lpa)
+            if segment is not None and self.has_lpa(segment, lpa):
+                return GroupLookup(
+                    ppa=segment.predict(lpa), levels_searched=depth, segment=segment
+                )
+        return GroupLookup(ppa=None, levels_searched=len(self._levels))
+
+    # ------------------------------------------------------------------ #
+    # Compaction (Algorithm 1, seg_compact)
+    # ------------------------------------------------------------------ #
+    def compact(self) -> None:
+        """Merge upper levels downward until no further space can be reclaimed."""
+        guard = len(self._levels) + self.segment_count() + 4
+        while len(self._levels) > 1 and guard > 0:
+            guard -= 1
+            before = (len(self._levels), self.segment_count())
+            top = self._levels.pop(0)
+            for segment in top.segments():
+                top.remove(segment)
+                self._insert_at_level(segment, 0)
+            self._drop_empty_levels()
+            after = (len(self._levels), self.segment_count())
+            if after >= before:
+                break
+
+    def _drop_empty_levels(self) -> None:
+        self._levels = [level for level in self._levels if not level.is_empty]
+
+    # ------------------------------------------------------------------ #
+    # Validation (used by tests)
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Check the structural invariants of the group."""
+        for level in self._levels:
+            level.validate_sorted_non_overlapping()
+            for segment in level:
+                assert not segment.is_removable, "removable segment left in a level"
+                assert segment.group_base == self.group_base

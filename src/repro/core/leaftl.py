@@ -1,0 +1,163 @@
+"""LeaFTL: the learning-based flash translation layer (the paper's system).
+
+LeaFTL plugs the log-structured learned mapping table into the generic FTL
+interface used by the SSD model:
+
+* ``update_batch`` learns new segments from every write-buffer flush or GC
+  migration batch and triggers periodic segment compaction;
+* ``translate`` resolves reads through the learned table, reporting how many
+  levels were searched (Figure 23a) and whether the result may be
+  approximate;
+* ``resolve_misprediction`` implements the OOB-based correction of
+  Section 3.5: given the OOB of the mispredicted page (which the read path
+  already fetched), it locates the correct PPA among the stored reverse
+  mappings of the ``[-gamma, +gamma]`` neighbourhood, so a misprediction
+  costs exactly one extra flash read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import LeaFTLConfig
+from repro.core.mapping_table import LogStructuredMappingTable, LookupResult
+from repro.core.plr import LearnedSegment
+from repro.flash.oob import OOBArea
+from repro.ftl.base import FTL, TranslationResult
+
+
+@dataclass
+class LeaFTLStats:
+    """LeaFTL-specific counters (on top of the generic FTL stats)."""
+
+    lookups_resolved: int = 0
+    approximate_lookups: int = 0
+    mispredictions: int = 0
+    oob_corrections: int = 0
+    oob_correction_failures: int = 0
+    compactions: int = 0
+    #: histogram: levels searched -> number of lookups (Figure 23a).
+    levels_histogram: Dict[int, int] = field(default_factory=dict)
+
+    def record_levels(self, levels: int) -> None:
+        self.levels_histogram[levels] = self.levels_histogram.get(levels, 0) + 1
+
+
+class LeaFTL(FTL):
+    """Learning-based FTL built on piecewise linear regression."""
+
+    name = "LeaFTL"
+
+    def __init__(
+        self,
+        config: Optional[LeaFTLConfig] = None,
+        mapping_budget_bytes: Optional[int] = None,
+    ) -> None:
+        super().__init__(mapping_budget_bytes=mapping_budget_bytes)
+        self.config = config or LeaFTLConfig()
+        self.table = LogStructuredMappingTable(self.config)
+        self.lea_stats = LeaFTLStats()
+        self._writes_since_compaction = 0
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+    @property
+    def gamma(self) -> int:
+        return self.config.gamma
+
+    def oob_window(self) -> int:
+        """Reverse-mapping window the write path must store in each OOB."""
+        return self.config.gamma
+
+    # ------------------------------------------------------------------ #
+    # FTL interface: translation
+    # ------------------------------------------------------------------ #
+    def translate(self, lpa: int) -> TranslationResult:
+        self.stats.lookups += 1
+        result: LookupResult = self.table.lookup(lpa)
+        if not result.found:
+            return TranslationResult(ppa=None, levels_searched=result.levels_searched)
+        self.lea_stats.lookups_resolved += 1
+        self.lea_stats.record_levels(max(result.levels_searched, 1))
+        if result.approximate:
+            self.lea_stats.approximate_lookups += 1
+        return TranslationResult(
+            ppa=result.ppa,
+            levels_searched=result.levels_searched,
+        )
+
+    def resolve_misprediction(
+        self, lpa: int, predicted_ppa: int, oob: OOBArea
+    ) -> Optional[int]:
+        """Find the correct PPA from the OOB of the mispredicted page.
+
+        The OOB stores the reverse mappings (LPAs) of the flash pages in
+        ``[predicted_ppa - gamma, predicted_ppa + gamma]``.  The error bound
+        of approximate segments guarantees the true PPA lies in that window,
+        so scanning the (at most ``2 * gamma + 1``) entries yields the answer
+        without any additional flash access beyond the read that fetched the
+        OOB itself.
+        """
+        self.lea_stats.mispredictions += 1
+        self.stats.mispredictions += 1
+        gamma = self.config.gamma
+        for index, neighbor_lpa in enumerate(oob.neighbor_lpas):
+            if neighbor_lpa == lpa:
+                self.lea_stats.oob_corrections += 1
+                return predicted_ppa - gamma + index
+        self.lea_stats.oob_correction_failures += 1
+        return None
+
+    # ------------------------------------------------------------------ #
+    # FTL interface: updates
+    # ------------------------------------------------------------------ #
+    def update_batch(self, mappings: Sequence[Tuple[int, int]]) -> List[LearnedSegment]:
+        learned = self.table.update(mappings)
+        self.stats.updates += len(mappings)
+        self._writes_since_compaction += len(mappings)
+        if self._writes_since_compaction >= self.config.compaction_interval_writes:
+            self.maintenance()
+        return learned
+
+    def maintenance(self) -> None:
+        """Compact the learned table (Section 3.7, once per ~1M writes)."""
+        self.table.compact()
+        self.lea_stats.compactions += 1
+        self._writes_since_compaction = 0
+
+    def exists(self, lpa: int) -> bool:
+        return self.table.exists(lpa)
+
+    # ------------------------------------------------------------------ #
+    # Memory accounting
+    # ------------------------------------------------------------------ #
+    def resident_bytes(self) -> int:
+        return self.table.memory_bytes()
+
+    def full_mapping_bytes(self) -> int:
+        return self.table.memory_bytes()
+
+    def mapped_lpa_count(self) -> Optional[int]:
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Reporting helpers
+    # ------------------------------------------------------------------ #
+    def describe(self) -> Dict[str, float]:
+        info = super().describe()
+        accurate, approximate = self.table.segment_type_counts()
+        info.update(
+            {
+                "gamma": float(self.config.gamma),
+                "segments": float(self.table.segment_count()),
+                "accurate_segments": float(accurate),
+                "approximate_segments": float(approximate),
+                "groups": float(self.table.group_count()),
+                "crb_bytes": float(self.table.crb_bytes()),
+                "compactions": float(self.lea_stats.compactions),
+                "oob_corrections": float(self.lea_stats.oob_corrections),
+            }
+        )
+        return info

@@ -1,0 +1,209 @@
+"""The log-structured learned mapping table (Figure 14 of the paper).
+
+This is the DRAM-resident data structure that replaces the page-level
+address mapping cache: a dictionary of :class:`repro.core.group.LPAGroup`
+objects (one per 256-LPA group that has ever been written), each holding its
+own multi-level segment log and Conflict Resolution Buffer.
+
+Responsibilities:
+
+* partition incoming mapping batches by group, learn segments per group with
+  the PLR learner, and insert them (Section 3.7, creation + insert/update);
+* answer LPA lookups with the number of levels searched (Figure 23a);
+* periodic compaction (Section 3.7);
+* exact DRAM footprint accounting (Figures 15 and 19).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.config import LeaFTLConfig
+from repro.core.group import GroupLookup, LPAGroup
+from repro.core.plr import LearnedSegment, PLRLearner
+from repro.core.segment import SEGMENT_BYTES, Segment, group_base_of
+
+
+@dataclass
+class LookupResult:
+    """Outcome of a mapping-table lookup."""
+
+    ppa: Optional[int]
+    levels_searched: int = 0
+    segment: Optional[Segment] = None
+
+    @property
+    def found(self) -> bool:
+        return self.ppa is not None
+
+    @property
+    def approximate(self) -> bool:
+        return self.segment is not None and not self.segment.accurate
+
+
+@dataclass
+class MappingTableStats:
+    """Counters describing learning and lookup activity."""
+
+    lookups: int = 0
+    lookup_levels_total: int = 0
+    batches_learned: int = 0
+    segments_learned: int = 0
+    accurate_segments_learned: int = 0
+    approximate_segments_learned: int = 0
+    mappings_learned: int = 0
+    compactions: int = 0
+
+    @property
+    def mean_levels_per_lookup(self) -> float:
+        return self.lookup_levels_total / self.lookups if self.lookups else 0.0
+
+    @property
+    def mean_segment_length(self) -> float:
+        if self.segments_learned == 0:
+            return 0.0
+        return self.mappings_learned / self.segments_learned
+
+
+class LogStructuredMappingTable:
+    """LeaFTL's learned LPA→PPA mapping table."""
+
+    def __init__(self, config: Optional[LeaFTLConfig] = None) -> None:
+        self.config = config or LeaFTLConfig()
+        self._learner = PLRLearner(
+            gamma=self.config.gamma, group_size=self.config.group_size
+        )
+        self._groups: Dict[int, LPAGroup] = {}
+        self.stats = MappingTableStats()
+
+    # ------------------------------------------------------------------ #
+    # Group access
+    # ------------------------------------------------------------------ #
+    @property
+    def gamma(self) -> int:
+        return self.config.gamma
+
+    def group_for(self, lpa: int) -> Optional[LPAGroup]:
+        return self._groups.get(group_base_of(lpa, self.config.group_size))
+
+    def _group_for_base(self, group_base: int) -> LPAGroup:
+        group = self._groups.get(group_base)
+        if group is None:
+            group = LPAGroup(group_base, self.config.group_size)
+            self._groups[group_base] = group
+        return group
+
+    def groups(self) -> List[LPAGroup]:
+        return list(self._groups.values())
+
+    def group_count(self) -> int:
+        return len(self._groups)
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+    def update(self, mappings: Sequence[Tuple[int, int]]) -> List[LearnedSegment]:
+        """Learn segments from a flush batch and insert them into the log.
+
+        Returns the learned segments (used by tests and by the segment
+        distribution experiments).
+        """
+        if not mappings:
+            return []
+        learned = self._learner.learn(mappings)
+        for item in learned:
+            group = self._group_for_base(item.segment.group_base)
+            group.update(item)
+        self.stats.batches_learned += 1
+        self.stats.segments_learned += len(learned)
+        self.stats.mappings_learned += len(mappings)
+        for item in learned:
+            if item.accurate:
+                self.stats.accurate_segments_learned += 1
+            else:
+                self.stats.approximate_segments_learned += 1
+        return learned
+
+    def update_single(self, lpa: int, ppa: int) -> List[LearnedSegment]:
+        """Insert a single mapping (degenerates to a single-point segment)."""
+        return self.update([(lpa, ppa)])
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def lookup(self, lpa: int) -> LookupResult:
+        """Resolve ``lpa`` to its (possibly approximate) PPA."""
+        self.stats.lookups += 1
+        group = self.group_for(lpa)
+        if group is None:
+            return LookupResult(ppa=None)
+        result: GroupLookup = group.lookup(lpa)
+        self.stats.lookup_levels_total += max(result.levels_searched, 1)
+        return LookupResult(
+            ppa=result.ppa,
+            levels_searched=result.levels_searched,
+            segment=result.segment,
+        )
+
+    def exists(self, lpa: int) -> bool:
+        group = self.group_for(lpa)
+        return group is not None and group.lookup(lpa).found
+
+    # ------------------------------------------------------------------ #
+    # Compaction
+    # ------------------------------------------------------------------ #
+    def compact(self) -> None:
+        """Compact every group (Section 3.7: run once per ~1M writes)."""
+        for group in self._groups.values():
+            group.compact()
+        self.stats.compactions += 1
+
+    # ------------------------------------------------------------------ #
+    # Memory accounting & distribution statistics
+    # ------------------------------------------------------------------ #
+    def segment_count(self) -> int:
+        return sum(group.segment_count() for group in self._groups.values())
+
+    def memory_bytes(self) -> int:
+        """Total DRAM footprint of segments, CRBs and level bookkeeping."""
+        overhead = self.config.level_overhead_bytes
+        return sum(group.memory_bytes(overhead) for group in self._groups.values())
+
+    def crb_bytes(self) -> int:
+        return sum(group.crb.size_bytes() for group in self._groups.values())
+
+    def crb_sizes(self) -> List[int]:
+        """Per-group CRB sizes in bytes (Figure 10)."""
+        return [group.crb.size_bytes() for group in self._groups.values()]
+
+    def level_counts(self) -> List[int]:
+        """Per-group level counts (Figure 12)."""
+        return [group.level_count for group in self._groups.values()]
+
+    def segment_lengths(self) -> List[int]:
+        """Number of LPAs encoded by each live segment (Figure 5)."""
+        lengths: List[int] = []
+        for group in self._groups.values():
+            for segment in group.segments():
+                lengths.append(len(group.covered_lpas(segment)))
+        return lengths
+
+    def segment_type_counts(self) -> Tuple[int, int]:
+        """(accurate, approximate) live segment counts (Figure 20)."""
+        accurate = 0
+        approximate = 0
+        for group in self._groups.values():
+            for segment in group.segments():
+                if segment.accurate:
+                    accurate += 1
+                else:
+                    approximate += 1
+        return accurate, approximate
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        for group in self._groups.values():
+            group.validate()

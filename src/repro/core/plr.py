@@ -1,0 +1,217 @@
+"""Greedy maximum-error-bounded piecewise linear regression (Section 3.1-3.3).
+
+LeaFTL learns LPA→PPA mappings with the greedy streaming PLR algorithm of
+Xie et al. [64]: points are consumed in ascending LPA order while a *cone* of
+feasible slopes (anchored at the segment's first point) is narrowed; when a
+new point would empty the cone, the current segment is closed and a new one
+starts.  Every point of a closed segment is guaranteed to be within
+``[-gamma, +gamma]`` of the fitted line.
+
+Because the on-device segment encoding rounds the slope to float16 and the
+prediction applies a ceiling, the learner *verifies* every candidate segment
+against the exact :meth:`repro.core.segment.Segment.predict` semantics before
+emitting it, and classifies it as
+
+* **accurate** when every covered LPA predicts its exact PPA,
+* **approximate** when every prediction is within ``gamma``,
+* otherwise the candidate is split and relearned (a rare fallback that keeps
+  the error bound a hard guarantee rather than a statistical one).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.segment import GROUP_SIZE, Segment, group_base_of
+
+
+@dataclass
+class LearnedSegment:
+    """A freshly learned segment plus the LPAs it covers.
+
+    The covered-LPA list is needed once, at insertion time: approximate
+    segments register their LPAs in the Conflict Resolution Buffer.  It is
+    not part of the segment's 8-byte footprint.
+    """
+
+    segment: Segment
+    lpas: List[int]
+
+    @property
+    def accurate(self) -> bool:
+        return self.segment.accurate
+
+    def __len__(self) -> int:
+        return len(self.lpas)
+
+
+class PLRLearner:
+    """Learns index segments from sorted (LPA, PPA) mapping batches."""
+
+    def __init__(self, gamma: int = 0, group_size: int = GROUP_SIZE) -> None:
+        if gamma < 0:
+            raise ValueError("gamma must be non-negative")
+        if group_size <= 0 or group_size > GROUP_SIZE:
+            raise ValueError("group_size must be in (0, 256]")
+        self.gamma = gamma
+        self.group_size = group_size
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def learn(self, mappings: Sequence[Tuple[int, int]]) -> List[LearnedSegment]:
+        """Learn segments from a batch of ``(lpa, ppa)`` pairs.
+
+        The batch is the content of one write-buffer flush: LPAs are unique.
+        They do not need to arrive sorted; sorting happens here (matching the
+        buffer-sorting co-design of Section 3.3, where ascending LPAs receive
+        ascending PPAs).  Segments never span a group boundary because the
+        1-byte ``S_LPA`` field is a group-relative offset.
+        """
+        if not mappings:
+            return []
+        points = sorted(mappings, key=lambda pair: pair[0])
+        self._check_unique(points)
+
+        learned: List[LearnedSegment] = []
+        run_start = 0
+        current_group = group_base_of(points[0][0], self.group_size)
+        for index, (lpa, _ppa) in enumerate(points):
+            base = group_base_of(lpa, self.group_size)
+            if base != current_group:
+                learned.extend(self._learn_group(points[run_start:index], current_group))
+                run_start = index
+                current_group = base
+        learned.extend(self._learn_group(points[run_start:], current_group))
+        return learned
+
+    # ------------------------------------------------------------------ #
+    # Per-group learning
+    # ------------------------------------------------------------------ #
+    def _learn_group(
+        self, points: Sequence[Tuple[int, int]], group_base: int
+    ) -> List[LearnedSegment]:
+        """Greedy cone-based PLR over the points of a single group."""
+        segments: List[LearnedSegment] = []
+        start = 0
+        count = len(points)
+        while start < count:
+            end = self._extend_cone(points, start)
+            segments.extend(self._finalize(points[start:end], group_base))
+            start = end
+        return segments
+
+    def _extend_cone(self, points: Sequence[Tuple[int, int]], start: int) -> int:
+        """Return the exclusive end index of the longest feasible segment."""
+        x0, y0 = points[start]
+        low = -math.inf
+        high = math.inf
+        gamma = float(self.gamma)
+        index = start + 1
+        while index < len(points):
+            x, y = points[index]
+            if x - x0 > GROUP_SIZE - 1:
+                break
+            dx = float(x - x0)
+            point_low = (y - gamma - y0) / dx
+            point_high = (y + gamma - y0) / dx
+            new_low = max(low, point_low)
+            new_high = min(high, point_high)
+            if new_low > new_high:
+                break
+            low, high = new_low, new_high
+            index += 1
+        return index
+
+    def _finalize(
+        self, points: Sequence[Tuple[int, int]], group_base: int
+    ) -> List[LearnedSegment]:
+        """Fit, quantize and verify one candidate segment.
+
+        Falls back to splitting the candidate when the quantized model cannot
+        honour the error bound (a rare event caused by float16 rounding).
+        """
+        if not points:
+            return []
+        if len(points) == 1:
+            lpa, ppa = points[0]
+            return [LearnedSegment(Segment.single_point(group_base, lpa, ppa), [lpa])]
+
+        lpas = [lpa for lpa, _ in points]
+        x0, y0 = points[0]
+        xn, yn = points[-1]
+        raw_slope = self._choose_slope(points)
+        length = xn - x0
+
+        for accurate in (True, False) if self.gamma > 0 else (True,):
+            for shift in (0.0, -0.5, -1.0):
+                segment = Segment.from_anchor(
+                    group_base=group_base,
+                    start_lpa=x0,
+                    length=length,
+                    raw_slope=raw_slope,
+                    anchor_lpa=x0,
+                    anchor_ppa=y0,
+                    accurate=accurate,
+                    intercept_shift=shift,
+                )
+                if self._verify(segment, points, exact=accurate):
+                    return [LearnedSegment(segment, lpas)]
+
+        # Quantization broke the bound: split the candidate and relearn.
+        middle = len(points) // 2
+        return self._finalize(points[:middle], group_base) + self._finalize(
+            points[middle:], group_base
+        )
+
+    def _choose_slope(self, points: Sequence[Tuple[int, int]]) -> float:
+        """Slope of the fitted line through the cone anchored at the first point."""
+        x0, y0 = points[0]
+        low = -math.inf
+        high = math.inf
+        gamma = float(self.gamma)
+        for x, y in points[1:]:
+            dx = float(x - x0)
+            low = max(low, (y - gamma - y0) / dx)
+            high = min(high, (y + gamma - y0) / dx)
+        if low > high:
+            raise ValueError("inconsistent cone: caller must pass a feasible range")
+        slope = (low + high) / 2.0 if gamma else low
+        return min(max(slope, 0.0), 1.0)
+
+    def _verify(
+        self, segment: Segment, points: Sequence[Tuple[int, int]], exact: bool
+    ) -> bool:
+        """Check the quantized model against the real predict() semantics."""
+        limit = 0 if exact else self.gamma
+        for lpa, ppa in points:
+            error = segment.predict(lpa) - ppa
+            if abs(error) > limit:
+                return False
+        # Accurate segments must also be *enumerable* from their metadata:
+        # the stride test of Algorithm 2 has to report exactly the learned
+        # LPAs, otherwise lookups would claim LPAs the segment does not hold.
+        if exact and len(points) > 1:
+            learned = set(lpa for lpa, _ in points)
+            derived = set(segment.covered_lpas_accurate())
+            if learned != derived:
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _check_unique(points: Sequence[Tuple[int, int]]) -> None:
+        for (lpa_a, _), (lpa_b, _) in zip(points, points[1:]):
+            if lpa_a == lpa_b:
+                raise ValueError(f"duplicate LPA {lpa_a} in one learning batch")
+
+
+def learn_segments(
+    mappings: Sequence[Tuple[int, int]], gamma: int = 0, group_size: int = GROUP_SIZE
+) -> List[LearnedSegment]:
+    """Convenience wrapper: learn segments from a mapping batch."""
+    return PLRLearner(gamma=gamma, group_size=group_size).learn(mappings)

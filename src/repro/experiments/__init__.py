@@ -1,0 +1,35 @@
+"""Experiment harness: per-figure experiment drivers built on the SSD model."""
+
+from repro.experiments.common import (
+    ALL_WORKLOADS,
+    ExperimentResult,
+    ExperimentSetup,
+    REAL_SSD_WORKLOADS,
+    SCHEMES,
+    SIMULATOR_WORKLOADS,
+    bench_scale,
+    build_ftl,
+    build_ssd,
+    run_experiment,
+    run_schemes,
+    warmup_ssd,
+    workload_by_name,
+    workload_for_setup,
+)
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "ExperimentResult",
+    "ExperimentSetup",
+    "REAL_SSD_WORKLOADS",
+    "SCHEMES",
+    "SIMULATOR_WORKLOADS",
+    "bench_scale",
+    "build_ftl",
+    "build_ssd",
+    "run_experiment",
+    "run_schemes",
+    "warmup_ssd",
+    "workload_by_name",
+    "workload_for_setup",
+]

@@ -1,0 +1,290 @@
+"""Experiment harness shared by the benchmarks and examples.
+
+The harness mirrors the paper's methodology (Section 4.1):
+
+1. build an SSD with the FTL scheme under test and a DRAM budget policy;
+2. *warm up* the device by writing a large fraction of the logical space
+   (the paper replays warm-up traces until GC is guaranteed to run during
+   the measurement) — this fills DFTL's cached mapping table and fills the
+   flash so that garbage collection is active;
+3. replay the workload trace and collect statistics;
+4. report mapping-table footprint, latency, hit ratio, WAF, misprediction
+   ratio and the learned-table internals the figures need.
+
+Workload sizes are scaled down from the paper's multi-hour traces so a full
+figure regenerates in minutes on a laptop; the ``request_scale`` and
+environment variable ``REPRO_BENCH_SCALE`` control the scaling.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import DFTLConfig, DRAMBudget, LeaFTLConfig, SFTLConfig, SSDConfig
+from repro.core.leaftl import LeaFTL
+from repro.ftl.base import FTL
+from repro.ftl.dftl import DFTL
+from repro.ftl.pagemap import PageLevelFTL
+from repro.ftl.sftl import SFTL
+from repro.ssd.ssd import SimulatedSSD, SSDOptions
+from repro.ssd.stats import SSDStats
+from repro.workloads.database import DATABASE_WORKLOAD_NAMES, database_workload
+from repro.workloads.fiu import FIU_WORKLOAD_NAMES, fiu_workload
+from repro.workloads.msr import MSR_WORKLOAD_NAMES, msr_workload
+from repro.workloads.trace import Trace
+
+#: FTL schemes compared throughout the evaluation.
+SCHEMES: Tuple[str, ...] = ("DFTL", "SFTL", "LeaFTL")
+
+#: The simulator-trace workloads (Figures 15, 16, 19-25 left half).
+SIMULATOR_WORKLOADS: List[str] = MSR_WORKLOAD_NAMES + FIU_WORKLOAD_NAMES
+
+#: The real-SSD workloads (Figure 17 and the right half of 19-25).
+REAL_SSD_WORKLOADS: List[str] = list(DATABASE_WORKLOAD_NAMES)
+
+ALL_WORKLOADS: List[str] = SIMULATOR_WORKLOADS + REAL_SSD_WORKLOADS
+
+
+def bench_scale(default: float = 1.0) -> float:
+    """Global scale factor for benchmark workload sizes.
+
+    Set the ``REPRO_BENCH_SCALE`` environment variable to trade fidelity for
+    runtime (e.g. ``REPRO_BENCH_SCALE=0.1`` for a quick smoke run).
+    """
+    value = os.environ.get("REPRO_BENCH_SCALE")
+    if not value:
+        return default
+    return max(0.01, float(value))
+
+
+@dataclass(frozen=True)
+class ExperimentSetup:
+    """Device + policy configuration for one experiment run."""
+
+    #: Logical capacity of the simulated device.
+    capacity_bytes: int = 1 * 1024 * 1024 * 1024
+    #: Flash page size (Figure 22b varies this).
+    page_size: int = 4096
+    channels: int = 16
+    pages_per_block: int = 256
+    #: Controller DRAM shared by the mapping table and the data cache.
+    dram_bytes: int = 512 * 1024
+    #: ``mapping_first`` (Figure 16a) or ``cache_reserved`` (Figure 16b).
+    dram_policy: str = "mapping_first"
+    #: LeaFTL error bound.
+    gamma: int = 0
+    #: Fraction of the logical space written once before measuring.
+    warmup_fraction: float = 0.70
+    #: Whether to run the warm-up phase at all.
+    warmup: bool = True
+    #: Write-buffer size in bytes (the paper's default is 8 MB).
+    write_buffer_bytes: int = 1 * 1024 * 1024
+    #: LeaFTL compaction interval, scaled to the smaller trace sizes.
+    compaction_interval_writes: int = 200_000
+    #: Fraction of each workload's requests to replay (runtime knob).
+    request_scale: float = 0.25
+    #: Scale factor applied to workload footprints so they fit the device.
+    footprint_scale: float = 0.6
+    #: Sort the write buffer by LPA before flushing (ablation knob).
+    sort_buffer_on_flush: bool = True
+    #: Random seed of the warm-up pattern.
+    seed: int = 7
+
+    def ssd_config(self) -> SSDConfig:
+        return SSDConfig(
+            capacity_bytes=self.capacity_bytes,
+            page_size=self.page_size,
+            pages_per_block=self.pages_per_block,
+            channels=self.channels,
+            dram_size=self.dram_bytes,
+            write_buffer_bytes=self.write_buffer_bytes,
+        )
+
+    def dram_budget(self) -> DRAMBudget:
+        return DRAMBudget(dram_bytes=self.dram_bytes, policy=self.dram_policy)
+
+    def scaled(self, **overrides: object) -> "ExperimentSetup":
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a benchmark needs to print one cell of a paper figure."""
+
+    workload: str
+    scheme: str
+    gamma: int
+    mean_latency_us: float
+    read_mean_latency_us: float
+    read_p99_us: float
+    simulated_time_us: float
+    cache_hit_ratio: float
+    write_amplification: float
+    misprediction_ratio: float
+    mapping_full_bytes: int
+    mapping_resident_bytes: int
+    stats: SSDStats
+    ftl_details: Dict[str, float] = field(default_factory=dict)
+    latency_samples: List[float] = field(default_factory=list)
+    levels_histogram: Dict[int, int] = field(default_factory=dict)
+    crb_sizes: List[int] = field(default_factory=list)
+    segment_lengths: List[int] = field(default_factory=list)
+    segment_type_counts: Tuple[int, int] = (0, 0)
+    level_counts: List[int] = field(default_factory=list)
+
+
+# --------------------------------------------------------------------------- #
+# Building blocks
+# --------------------------------------------------------------------------- #
+def build_ftl(scheme: str, setup: ExperimentSetup) -> FTL:
+    """Instantiate the FTL scheme under test with the setup's DRAM budget."""
+    budget = setup.dram_budget().mapping_budget()
+    if scheme == "DFTL":
+        return DFTL(mapping_budget_bytes=budget, config=DFTLConfig())
+    if scheme == "SFTL":
+        return SFTL(mapping_budget_bytes=budget, config=SFTLConfig())
+    if scheme == "LeaFTL":
+        config = LeaFTLConfig(
+            gamma=setup.gamma,
+            compaction_interval_writes=setup.compaction_interval_writes,
+        )
+        return LeaFTL(config=config, mapping_budget_bytes=budget)
+    if scheme == "PageMap":
+        return PageLevelFTL()
+    raise ValueError(f"unknown FTL scheme {scheme!r}; known: {SCHEMES + ('PageMap',)}")
+
+
+def build_ssd(scheme: str, setup: ExperimentSetup) -> SimulatedSSD:
+    """An SSD + FTL pair ready for warm-up and trace replay."""
+    config = setup.ssd_config()
+    ftl = build_ftl(scheme, setup)
+    options = SSDOptions(sort_buffer_on_flush=setup.sort_buffer_on_flush)
+    return SimulatedSSD(
+        config=config,
+        ftl=ftl,
+        dram_budget=setup.dram_budget(),
+        options=options,
+    )
+
+
+def warmup_ssd(ssd: SimulatedSSD, setup: ExperimentSetup) -> None:
+    """Pre-fill the device so GC is active and mapping tables are populated.
+
+    The warm-up writes ``warmup_fraction`` of the logical space in large
+    sequential extents interleaved with scattered small writes — a mix that
+    populates every FTL's mapping structures without handing LeaFTL an
+    artificially easy all-sequential history.
+    """
+    rng = random.Random(setup.seed)
+    logical_pages = ssd.config.logical_pages
+    target_pages = int(logical_pages * setup.warmup_fraction)
+    extent = 2048
+    lpa = 0
+    written = 0
+    while written < target_pages and lpa < logical_pages - extent:
+        ssd.process("W", lpa, extent)
+        written += extent
+        lpa += extent
+        if rng.random() < 0.25:
+            scattered = rng.randrange(0, logical_pages - 8)
+            ssd.process("W", scattered, rng.randint(1, 4))
+            written += 4
+    ssd.flush()
+    reset_measurement(ssd)
+
+
+def reset_measurement(ssd: SimulatedSSD) -> None:
+    """Clear the statistics accumulated so far (end of warm-up)."""
+    ssd.stats = SSDStats()
+    ssd.ftl.stats.reset()
+    lea = getattr(ssd.ftl, "lea_stats", None)
+    if lea is not None:
+        lea.mispredictions = 0
+        lea.oob_corrections = 0
+        lea.oob_correction_failures = 0
+        lea.approximate_lookups = 0
+        lea.lookups_resolved = 0
+        lea.levels_histogram = {}
+
+
+# --------------------------------------------------------------------------- #
+# Workloads
+# --------------------------------------------------------------------------- #
+def workload_by_name(
+    name: str, request_scale: float = 1.0, footprint_scale: float = 1.0
+) -> Trace:
+    """Build the named workload trace (MSR-like, FIU-like or database)."""
+    if name in MSR_WORKLOAD_NAMES:
+        return msr_workload(name, request_scale, footprint_scale)
+    if name in FIU_WORKLOAD_NAMES:
+        return fiu_workload(name, request_scale, footprint_scale)
+    if name in DATABASE_WORKLOAD_NAMES:
+        return database_workload(name, request_scale)
+    raise KeyError(f"unknown workload {name!r}; known: {ALL_WORKLOADS}")
+
+
+def workload_for_setup(name: str, setup: ExperimentSetup) -> Trace:
+    """The named workload scaled for the experiment device."""
+    trace = workload_by_name(name, setup.request_scale, setup.footprint_scale)
+    return trace.scaled_to(setup.ssd_config().logical_pages)
+
+
+# --------------------------------------------------------------------------- #
+# Running experiments
+# --------------------------------------------------------------------------- #
+def run_experiment(
+    workload: str,
+    scheme: str,
+    setup: Optional[ExperimentSetup] = None,
+    trace: Optional[Trace] = None,
+) -> ExperimentResult:
+    """Run one (workload, scheme) cell and collect every figure's inputs."""
+    setup = setup or ExperimentSetup()
+    ssd = build_ssd(scheme, setup)
+    if setup.warmup:
+        warmup_ssd(ssd, setup)
+    replay = trace if trace is not None else workload_for_setup(workload, setup)
+    stats = ssd.run(replay.as_tuples())
+
+    ftl = ssd.ftl
+    result = ExperimentResult(
+        workload=workload,
+        scheme=scheme,
+        gamma=setup.gamma,
+        mean_latency_us=stats.mean_latency_us,
+        read_mean_latency_us=stats.read_latency.mean_us,
+        read_p99_us=stats.read_latency.percentile(99),
+        simulated_time_us=stats.simulated_time_us,
+        cache_hit_ratio=stats.cache_hit_ratio,
+        write_amplification=stats.write_amplification,
+        misprediction_ratio=stats.misprediction_ratio,
+        mapping_full_bytes=ftl.full_mapping_bytes(),
+        mapping_resident_bytes=ftl.resident_bytes(),
+        stats=stats,
+        ftl_details=ftl.describe(),
+        latency_samples=stats.read_latency.samples(),
+    )
+    if isinstance(ftl, LeaFTL):
+        result.levels_histogram = dict(ftl.lea_stats.levels_histogram)
+        result.crb_sizes = ftl.table.crb_sizes()
+        result.segment_lengths = ftl.table.segment_lengths()
+        result.segment_type_counts = ftl.table.segment_type_counts()
+        result.level_counts = ftl.table.level_counts()
+    return result
+
+
+def run_schemes(
+    workload: str,
+    setup: Optional[ExperimentSetup] = None,
+    schemes: Sequence[str] = SCHEMES,
+) -> Dict[str, ExperimentResult]:
+    """Run every scheme on one workload (shares the generated trace)."""
+    setup = setup or ExperimentSetup()
+    trace = workload_for_setup(workload, setup)
+    return {
+        scheme: run_experiment(workload, scheme, setup, trace=trace)
+        for scheme in schemes
+    }

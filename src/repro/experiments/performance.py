@@ -1,0 +1,212 @@
+"""End-to-end performance experiments (Figures 16-18 and 21-25).
+
+Every function here runs full SSD simulations (warm-up + trace replay) and
+returns the series a benchmark prints.  "Normalized performance" follows the
+paper's convention (lower is better, DFTL = 1.0); this reproduction uses the
+mean *read* latency as the performance metric, because host writes are
+absorbed by the controller write buffer in every scheme and the benefit of a
+smaller mapping table — a larger data cache and fewer translation-page
+fetches — materialises on the read path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.latency import histogram_cdf, latency_cdf, normalize
+from repro.experiments.common import (
+    ExperimentResult,
+    ExperimentSetup,
+    REAL_SSD_WORKLOADS,
+    SCHEMES,
+    SIMULATOR_WORKLOADS,
+    run_experiment,
+    run_schemes,
+)
+
+
+def performance_setup(
+    dram_policy: str = "mapping_first",
+    gamma: int = 0,
+    dram_bytes: int = 512 * 1024,
+    request_scale: float = 0.25,
+    **overrides: object,
+) -> ExperimentSetup:
+    """The standard performance-measurement setup (warm-up enabled)."""
+    return ExperimentSetup(
+        dram_policy=dram_policy,
+        gamma=gamma,
+        dram_bytes=dram_bytes,
+        request_scale=request_scale,
+        **overrides,  # type: ignore[arg-type]
+    )
+
+
+def normalized_performance(
+    workloads: Sequence[str],
+    setup: Optional[ExperimentSetup] = None,
+    schemes: Sequence[str] = SCHEMES,
+    baseline: str = "DFTL",
+) -> Dict[str, Dict[str, float]]:
+    """workload -> scheme -> normalized mean latency (Figures 16, 17, 22)."""
+    setup = setup or performance_setup()
+    table: Dict[str, Dict[str, float]] = {}
+    for workload in workloads:
+        results = run_schemes(workload, setup, schemes)
+        latencies = {scheme: r.read_mean_latency_us for scheme, r in results.items()}
+        table[workload] = normalize(latencies, baseline)
+    return table
+
+
+def raw_performance(
+    workloads: Sequence[str],
+    setup: Optional[ExperimentSetup] = None,
+    schemes: Sequence[str] = SCHEMES,
+) -> Dict[str, Dict[str, ExperimentResult]]:
+    """workload -> scheme -> full experiment result."""
+    setup = setup or performance_setup()
+    return {workload: run_schemes(workload, setup, schemes) for workload in workloads}
+
+
+def gamma_performance(
+    workloads: Sequence[str],
+    gammas: Sequence[int] = (0, 1, 4, 16),
+    setup: Optional[ExperimentSetup] = None,
+) -> Dict[str, Dict[int, float]]:
+    """workload -> gamma -> LeaFTL latency normalized to gamma = 0 (Figure 21)."""
+    base_setup = setup or performance_setup()
+    table: Dict[str, Dict[int, float]] = {}
+    for workload in workloads:
+        latencies: Dict[int, float] = {}
+        for gamma in gammas:
+            run_setup = base_setup.scaled(gamma=gamma)
+            result = run_experiment(workload, "LeaFTL", run_setup)
+            latencies[gamma] = result.read_mean_latency_us
+        baseline = latencies[gammas[0]] or 1.0
+        table[workload] = {gamma: value / baseline for gamma, value in latencies.items()}
+    return table
+
+
+def misprediction_ratios(
+    workloads: Sequence[str],
+    gammas: Sequence[int] = (0, 1, 4, 16),
+    setup: Optional[ExperimentSetup] = None,
+) -> Dict[str, Dict[int, float]]:
+    """workload -> gamma -> misprediction ratio in percent (Figure 24)."""
+    base_setup = setup or performance_setup()
+    table: Dict[str, Dict[int, float]] = {}
+    for workload in workloads:
+        row: Dict[int, float] = {}
+        for gamma in gammas:
+            result = run_experiment(workload, "LeaFTL", base_setup.scaled(gamma=gamma))
+            row[gamma] = 100.0 * result.misprediction_ratio
+        table[workload] = row
+    return table
+
+
+def write_amplification(
+    workloads: Sequence[str],
+    setup: Optional[ExperimentSetup] = None,
+    schemes: Sequence[str] = SCHEMES,
+) -> Dict[str, Dict[str, float]]:
+    """workload -> scheme -> WAF (Figure 25)."""
+    setup = setup or performance_setup()
+    table: Dict[str, Dict[str, float]] = {}
+    for workload in workloads:
+        results = run_schemes(workload, setup, schemes)
+        table[workload] = {
+            scheme: result.write_amplification for scheme, result in results.items()
+        }
+    return table
+
+
+def latency_distribution(
+    workload: str = "OLTP",
+    setup: Optional[ExperimentSetup] = None,
+    schemes: Sequence[str] = SCHEMES,
+    points: Sequence[float] = (0.0, 30.0, 60.0, 90.0, 99.0, 99.9),
+) -> Dict[str, Dict[float, float]]:
+    """scheme -> CDF point -> read latency in microseconds (Figure 18)."""
+    setup = setup or performance_setup()
+    results = run_schemes(workload, setup, schemes)
+    return {
+        scheme: latency_cdf(result.latency_samples, points)
+        for scheme, result in results.items()
+    }
+
+
+def lookup_level_cdf(
+    workloads: Sequence[str],
+    setup: Optional[ExperimentSetup] = None,
+    fractions: Sequence[float] = (0.90, 0.99, 0.999, 0.9999),
+) -> Dict[str, Dict[str, float]]:
+    """workload -> statistics of levels searched per lookup (Figure 23a)."""
+    setup = setup or performance_setup()
+    table: Dict[str, Dict[str, float]] = {}
+    for workload in workloads:
+        result = run_experiment(workload, "LeaFTL", setup)
+        histogram = result.levels_histogram
+        total = sum(histogram.values())
+        row: Dict[str, float] = {}
+        if total:
+            mean = sum(level * count for level, count in histogram.items()) / total
+            row["mean"] = mean
+            cdf_points = histogram_cdf(histogram)
+            for fraction in fractions:
+                threshold = next(
+                    (value for value, cum in cdf_points if cum >= fraction),
+                    cdf_points[-1][0],
+                )
+                row[f"p{fraction * 100:g}"] = float(threshold)
+        table[workload] = row
+    return table
+
+
+def dram_size_sensitivity(
+    workloads: Sequence[str],
+    dram_sizes: Sequence[int],
+    setup: Optional[ExperimentSetup] = None,
+    schemes: Sequence[str] = SCHEMES,
+    baseline: str = "DFTL",
+) -> Dict[int, Dict[str, float]]:
+    """DRAM size -> scheme -> normalized latency averaged over workloads (Fig. 22a)."""
+    base_setup = setup or performance_setup()
+    table: Dict[int, Dict[str, float]] = {}
+    for dram in dram_sizes:
+        sized = base_setup.scaled(dram_bytes=dram)
+        sums: Dict[str, float] = {scheme: 0.0 for scheme in schemes}
+        for workload in workloads:
+            results = run_schemes(workload, sized, schemes)
+            for scheme, result in results.items():
+                sums[scheme] += result.read_mean_latency_us
+        table[dram] = normalize(sums, baseline)
+    return table
+
+
+def page_size_sensitivity(
+    workloads: Sequence[str],
+    page_sizes: Sequence[int] = (4096, 8192, 16384),
+    setup: Optional[ExperimentSetup] = None,
+    schemes: Sequence[str] = SCHEMES,
+    baseline: str = "DFTL",
+) -> Dict[int, Dict[str, float]]:
+    """Flash page size -> scheme -> normalized latency (Figure 22b).
+
+    The paper fixes the number of flash pages while growing the page size, so
+    the capacity grows with the page size; the same is done here.
+    """
+    base_setup = setup or performance_setup()
+    table: Dict[int, Dict[str, float]] = {}
+    for page_size in page_sizes:
+        scale = page_size // base_setup.page_size
+        sized = base_setup.scaled(
+            page_size=page_size,
+            capacity_bytes=base_setup.capacity_bytes * scale,
+        )
+        sums: Dict[str, float] = {scheme: 0.0 for scheme in schemes}
+        for workload in workloads:
+            results = run_schemes(workload, sized, schemes)
+            for scheme, result in results.items():
+                sums[scheme] += result.read_mean_latency_us
+        table[page_size] = normalize(sums, baseline)
+    return table

@@ -1,0 +1,113 @@
+"""Learned-segment structure experiments (Figures 5, 10, 12 and 20).
+
+These experiments replay workloads through LeaFTL and inspect the learned
+mapping table itself: how many LPA→PPA mappings each segment covers
+(Figure 5), how large the per-group Conflict Resolution Buffers get
+(Figure 10), how many levels the per-group logs grow (Figure 12) and the
+accurate/approximate segment mix as gamma grows (Figure 20).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.analysis.latency import percentile
+from repro.experiments.common import (
+    ExperimentSetup,
+    SIMULATOR_WORKLOADS,
+    run_experiment,
+    workload_for_setup,
+)
+from repro.experiments.memory import memory_setup
+
+
+def segment_length_distribution(
+    workloads: Sequence[str] = tuple(SIMULATOR_WORKLOADS),
+    gammas: Sequence[int] = (0, 4, 8),
+    request_scale: float = 0.25,
+) -> Dict[int, List[int]]:
+    """gamma -> aggregated list of per-segment covered-mapping counts (Fig. 5)."""
+    distribution: Dict[int, List[int]] = {}
+    for gamma in gammas:
+        lengths: List[int] = []
+        setup = memory_setup(gamma=gamma, request_scale=request_scale)
+        for workload in workloads:
+            trace = workload_for_setup(workload, setup)
+            outcome = run_experiment(workload, "LeaFTL", setup, trace=trace)
+            lengths.extend(outcome.segment_lengths)
+        distribution[gamma] = lengths
+    return distribution
+
+
+def length_histogram(lengths: Sequence[int], buckets: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048)) -> Dict[int, float]:
+    """Cumulative share of segments whose length is <= each bucket (Fig. 5 y-axis)."""
+    if not lengths:
+        return {bucket: 0.0 for bucket in buckets}
+    total = len(lengths)
+    return {
+        bucket: 100.0 * sum(1 for value in lengths if value <= bucket) / total
+        for bucket in buckets
+    }
+
+
+def crb_size_distribution(
+    workloads: Sequence[str] = tuple(SIMULATOR_WORKLOADS),
+    gamma: int = 4,
+    request_scale: float = 0.25,
+) -> Dict[str, Tuple[float, float]]:
+    """workload -> (average CRB bytes, 99th-percentile CRB bytes) (Figure 10)."""
+    setup = memory_setup(gamma=gamma, request_scale=request_scale)
+    results: Dict[str, Tuple[float, float]] = {}
+    for workload in workloads:
+        trace = workload_for_setup(workload, setup)
+        outcome = run_experiment(workload, "LeaFTL", setup, trace=trace)
+        sizes = [size for size in outcome.crb_sizes]
+        if not sizes:
+            results[workload] = (0.0, 0.0)
+            continue
+        results[workload] = (sum(sizes) / len(sizes), percentile(sizes, 99))
+    return results
+
+
+def level_distribution(
+    workloads: Sequence[str] = tuple(SIMULATOR_WORKLOADS),
+    gamma: int = 0,
+    request_scale: float = 0.25,
+) -> Dict[str, Tuple[float, float]]:
+    """workload -> (average levels per group, 99th percentile) (Figure 12)."""
+    setup = memory_setup(gamma=gamma, request_scale=request_scale)
+    results: Dict[str, Tuple[float, float]] = {}
+    for workload in workloads:
+        trace = workload_for_setup(workload, setup)
+        outcome = run_experiment(workload, "LeaFTL", setup, trace=trace)
+        counts = outcome.level_counts
+        if not counts:
+            results[workload] = (0.0, 0.0)
+            continue
+        results[workload] = (sum(counts) / len(counts), percentile(counts, 99))
+    return results
+
+
+def segment_type_shares(
+    workloads: Sequence[str] = tuple(SIMULATOR_WORKLOADS),
+    gammas: Sequence[int] = (0, 1, 4, 16),
+    request_scale: float = 0.25,
+) -> Dict[int, Tuple[float, float]]:
+    """gamma -> (accurate %, approximate %) across all workloads (Figure 20)."""
+    shares: Dict[int, Tuple[float, float]] = {}
+    for gamma in gammas:
+        accurate = 0
+        approximate = 0
+        setup = memory_setup(gamma=gamma, request_scale=request_scale)
+        for workload in workloads:
+            trace = workload_for_setup(workload, setup)
+            outcome = run_experiment(workload, "LeaFTL", setup, trace=trace)
+            acc, apx = outcome.segment_type_counts
+            accurate += acc
+            approximate += apx
+        total = accurate + approximate
+        if total == 0:
+            shares[gamma] = (0.0, 0.0)
+        else:
+            shares[gamma] = (100.0 * accurate / total, 100.0 * approximate / total)
+    return shares

@@ -1,0 +1,28 @@
+"""Flash substrate: geometry, NAND array with OOB metadata, block allocation."""
+
+from repro.flash.allocator import BlockAllocator, OutOfSpaceError
+from repro.flash.flash_array import FlashArray, FlashCounters, FlashError, PageState
+from repro.flash.geometry import FlashGeometry, PageAddress
+from repro.flash.oob import (
+    LPA_ENTRY_BYTES,
+    OOBArea,
+    max_neighbor_entries,
+    required_oob_bytes,
+    validate_gamma_fits_oob,
+)
+
+__all__ = [
+    "BlockAllocator",
+    "OutOfSpaceError",
+    "FlashArray",
+    "FlashCounters",
+    "FlashError",
+    "PageState",
+    "FlashGeometry",
+    "PageAddress",
+    "OOBArea",
+    "LPA_ENTRY_BYTES",
+    "max_neighbor_entries",
+    "required_oob_bytes",
+    "validate_gamma_fits_oob",
+]

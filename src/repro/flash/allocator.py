@@ -1,0 +1,137 @@
+"""Flash block allocation.
+
+The allocator owns the free-block pool and hands out *active* blocks that the
+write path programs sequentially.  Two properties matter for LeaFTL:
+
+* a flush of the LPA-sorted write buffer receives **consecutive PPAs** inside
+  one (or a few) freshly allocated blocks, which is what lets the piecewise
+  linear regression learn long segments (Section 3.3 of the paper);
+* allocation is wear-aware: among free blocks of the chosen channel the one
+  with the lowest erase count is preferred, supporting wear leveling.
+
+The allocator also tracks which blocks are candidates for garbage collection
+(fully programmed, not free, not currently active).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.flash.flash_array import FlashArray
+
+
+class OutOfSpaceError(RuntimeError):
+    """Raised when no free block can satisfy an allocation request."""
+
+
+@dataclass
+class AllocationStats:
+    """Counters describing allocator activity."""
+
+    blocks_allocated: int = 0
+    blocks_reclaimed: int = 0
+
+
+class BlockAllocator:
+    """Round-robin, wear-aware free block allocator."""
+
+    def __init__(self, flash: FlashArray) -> None:
+        self._flash = flash
+        self._geometry = flash.geometry
+        channels = self._geometry.channels
+        self._free_blocks: List[Set[int]] = [set() for _ in range(channels)]
+        self._active_blocks: Set[int] = set()
+        self._next_channel = 0
+        self.stats = AllocationStats()
+
+        for block in range(self._geometry.total_blocks):
+            channel = self._geometry.block_to_channel(block)
+            self._free_blocks[channel].add(block)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def total_blocks(self) -> int:
+        return self._geometry.total_blocks
+
+    def free_block_count(self) -> int:
+        """Number of blocks currently in the free pool."""
+        return sum(len(pool) for pool in self._free_blocks)
+
+    def free_ratio(self) -> float:
+        """Fraction of all blocks that are free."""
+        return self.free_block_count() / self._geometry.total_blocks
+
+    def is_active(self, block: int) -> bool:
+        return block in self._active_blocks
+
+    def gc_candidates(self) -> List[int]:
+        """Blocks eligible for garbage collection.
+
+        A block is a candidate when it has been (fully or partially)
+        programmed, is not in the free pool and is not an active block that
+        the write path is still filling.
+        """
+        free: Set[int] = set()
+        for pool in self._free_blocks:
+            free |= pool
+        candidates = []
+        for block in range(self._geometry.total_blocks):
+            if block in free or block in self._active_blocks:
+                continue
+            if self._flash.write_pointer(block) == 0:
+                continue
+            candidates.append(block)
+        return candidates
+
+    # ------------------------------------------------------------------ #
+    # Allocation / reclamation
+    # ------------------------------------------------------------------ #
+    def allocate_block(self, channel: Optional[int] = None) -> int:
+        """Take a block out of the free pool and mark it active.
+
+        When ``channel`` is ``None`` the allocator rotates across channels to
+        spread programs (and therefore later reads) over the whole array.
+        Within the chosen channel the least-worn free block is returned.
+        """
+        channels = self._geometry.channels
+        order: List[int]
+        if channel is not None:
+            order = [channel]
+        else:
+            order = [(self._next_channel + i) % channels for i in range(channels)]
+            self._next_channel = (self._next_channel + 1) % channels
+
+        for ch in order:
+            pool = self._free_blocks[ch]
+            if not pool:
+                continue
+            block = min(pool, key=self._flash.erase_count)
+            pool.remove(block)
+            self._active_blocks.add(block)
+            self.stats.blocks_allocated += 1
+            return block
+        raise OutOfSpaceError("no free flash block available")
+
+    def seal_block(self, block: int) -> None:
+        """Mark an active block as fully written (no longer active)."""
+        self._active_blocks.discard(block)
+
+    def release_block(self, block: int) -> None:
+        """Return an erased block to the free pool (after GC erase)."""
+        if not self._flash.block_is_free(block):
+            raise ValueError(f"block {block} is not erased; cannot release")
+        channel = self._geometry.block_to_channel(block)
+        self._active_blocks.discard(block)
+        self._free_blocks[channel].add(block)
+        self.stats.blocks_reclaimed += 1
+
+    # ------------------------------------------------------------------ #
+    # Wear statistics
+    # ------------------------------------------------------------------ #
+    def wear_imbalance(self) -> float:
+        """Max-minus-min erase count across all blocks (0 = perfectly even)."""
+        counts = self._flash.erase_counts()
+        return float(max(counts) - min(counts)) if counts else 0.0

@@ -1,0 +1,254 @@
+"""The NAND flash array: page state machine, OOB storage and access counters.
+
+The array models the FTL-visible behaviour of NAND flash:
+
+* pages are written out-of-place — a page must be FREE to be programmed and
+  must be erased (at block granularity) before it can be programmed again;
+* each block has an erase counter (used for wear-leveling studies and the
+  write-amplification figure);
+* each page has an OOB area storing reverse mappings (see
+  :mod:`repro.flash.oob`);
+* every read/program/erase is accounted per channel so the SSD model can
+  compute request latencies under channel parallelism.
+
+The array does not store page payloads — the simulator is trace-driven and
+only address translation correctness matters.  Each valid page remembers the
+LPA it holds, which doubles as its "content" for verification purposes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.config import SSDConfig
+from repro.flash.geometry import FlashGeometry
+from repro.flash.oob import OOBArea
+
+
+class PageState(enum.Enum):
+    """Lifecycle of a flash page."""
+
+    FREE = "free"
+    VALID = "valid"
+    INVALID = "invalid"
+
+
+class FlashError(RuntimeError):
+    """Raised when an operation violates NAND flash constraints."""
+
+
+@dataclass
+class FlashCounters:
+    """Aggregate operation counters for the whole array."""
+
+    page_reads: int = 0
+    page_writes: int = 0
+    block_erases: int = 0
+    oob_reads: int = 0
+
+    def reset(self) -> None:
+        self.page_reads = 0
+        self.page_writes = 0
+        self.block_erases = 0
+        self.oob_reads = 0
+
+
+@dataclass
+class _BlockState:
+    """Mutable per-block bookkeeping."""
+
+    erase_count: int = 0
+    valid_pages: int = 0
+    #: Next page offset to program (NAND requires in-order programming).
+    write_pointer: int = 0
+
+
+class FlashArray:
+    """A multi-channel NAND flash array with per-channel time accounting."""
+
+    def __init__(self, config: SSDConfig) -> None:
+        self._config = config
+        self._geometry = FlashGeometry(config)
+        total_pages = self._geometry.total_pages
+        total_blocks = self._geometry.total_blocks
+
+        self._page_state: List[PageState] = [PageState.FREE] * total_pages
+        self._page_lpa: List[Optional[int]] = [None] * total_pages
+        self._oob: Dict[int, OOBArea] = {}
+        self._blocks: List[_BlockState] = [_BlockState() for _ in range(total_blocks)]
+        self._channel_busy_until: List[float] = [0.0] * config.channels
+        self.counters = FlashCounters()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def geometry(self) -> FlashGeometry:
+        return self._geometry
+
+    @property
+    def config(self) -> SSDConfig:
+        return self._config
+
+    def page_state(self, ppa: int) -> PageState:
+        return self._page_state[ppa]
+
+    def lpa_of(self, ppa: int) -> Optional[int]:
+        """Reverse mapping stored in the page (None if FREE/never written)."""
+        return self._page_lpa[ppa]
+
+    def oob_of(self, ppa: int) -> Optional[OOBArea]:
+        """The OOB contents of ``ppa`` (None if the page was never written)."""
+        return self._oob.get(ppa)
+
+    def erase_count(self, block: int) -> int:
+        return self._blocks[block].erase_count
+
+    def valid_page_count(self, block: int) -> int:
+        return self._blocks[block].valid_pages
+
+    def write_pointer(self, block: int) -> int:
+        """Next programmable page offset within ``block``."""
+        return self._blocks[block].write_pointer
+
+    def block_is_full(self, block: int) -> bool:
+        return self._blocks[block].write_pointer >= self._geometry.pages_per_block
+
+    def block_is_free(self, block: int) -> bool:
+        """True when every page of the block is FREE (freshly erased)."""
+        return self._blocks[block].write_pointer == 0 and self._blocks[block].valid_pages == 0
+
+    def valid_ppas_of_block(self, block: int) -> List[int]:
+        """All VALID PPAs in ``block`` (ascending order)."""
+        return [
+            ppa
+            for ppa in self._geometry.ppas_of_block(block)
+            if self._page_state[ppa] is PageState.VALID
+        ]
+
+    def channel_busy_until(self, channel: int) -> float:
+        """Simulated time (us) until which ``channel`` is occupied."""
+        return self._channel_busy_until[channel]
+
+    # ------------------------------------------------------------------ #
+    # Time accounting
+    # ------------------------------------------------------------------ #
+    def occupy_channel(self, channel: int, now_us: float, duration_us: float) -> float:
+        """Schedule an operation on ``channel`` and return its finish time.
+
+        Exposed so the SSD model can charge channel time for logically
+        modelled traffic (e.g. DFTL translation-page I/O) that does not go
+        through a specific data page.
+        """
+        start = max(now_us, self._channel_busy_until[channel])
+        finish = start + duration_us
+        self._channel_busy_until[channel] = finish
+        return finish
+
+
+    # ------------------------------------------------------------------ #
+    # Flash operations
+    # ------------------------------------------------------------------ #
+    def read_page(self, ppa: int, now_us: float = 0.0) -> float:
+        """Read a flash page; returns the completion time in microseconds.
+
+        Reading a FREE page is allowed by hardware but flagged here because
+        it always indicates an FTL bug in the simulator.
+        """
+        state = self._page_state[ppa]
+        if state is PageState.FREE:
+            raise FlashError(f"read of unwritten page ppa={ppa}")
+        self.counters.page_reads += 1
+        channel = self._geometry.channel_of(ppa)
+        return self.occupy_channel(channel, now_us, self._config.read_latency_us)
+
+    def read_oob(self, ppa: int, now_us: float = 0.0) -> float:
+        """Read only the OOB of a page (modelled with full page-read latency).
+
+        Real devices cannot read the spare area without activating the page,
+        so the latency equals a page read; the separate counter lets the
+        benchmarks attribute the cost to misprediction handling.
+        """
+        if self._page_state[ppa] is PageState.FREE:
+            raise FlashError(f"OOB read of unwritten page ppa={ppa}")
+        self.counters.oob_reads += 1
+        channel = self._geometry.channel_of(ppa)
+        return self.occupy_channel(channel, now_us, self._config.read_latency_us)
+
+    def program_page(
+        self,
+        ppa: int,
+        lpa: int,
+        oob: Optional[OOBArea] = None,
+        now_us: float = 0.0,
+    ) -> float:
+        """Program a FREE page with the data of ``lpa``.
+
+        NAND constraints enforced:
+
+        * the page must be FREE;
+        * pages within a block must be programmed in ascending order.
+        """
+        if self._page_state[ppa] is not PageState.FREE:
+            raise FlashError(f"program of non-free page ppa={ppa} ({self._page_state[ppa]})")
+        block = self._geometry.block_of(ppa)
+        offset = self._geometry.page_offset_of(ppa)
+        block_state = self._blocks[block]
+        if offset != block_state.write_pointer:
+            raise FlashError(
+                f"out-of-order program in block {block}: offset {offset}, "
+                f"expected {block_state.write_pointer}"
+            )
+
+        self._page_state[ppa] = PageState.VALID
+        self._page_lpa[ppa] = lpa
+        self._oob[ppa] = oob if oob is not None else OOBArea(lpa=lpa)
+        block_state.valid_pages += 1
+        block_state.write_pointer += 1
+        self.counters.page_writes += 1
+        channel = self._geometry.channel_of(ppa)
+        # Programs proceed inside a die; the channel is only occupied for the
+        # data transfer share, so concurrent programs on other dies overlap.
+        occupancy = self._config.write_latency_us / self._config.dies_per_channel
+        return self.occupy_channel(channel, now_us, occupancy)
+
+    def invalidate_page(self, ppa: int) -> None:
+        """Mark a VALID page as INVALID (its LPA was overwritten or trimmed)."""
+        if self._page_state[ppa] is not PageState.VALID:
+            raise FlashError(f"invalidate of non-valid page ppa={ppa}")
+        self._page_state[ppa] = PageState.INVALID
+        block = self._geometry.block_of(ppa)
+        self._blocks[block].valid_pages -= 1
+
+    def erase_block(self, block: int, now_us: float = 0.0) -> float:
+        """Erase a whole block; all its pages become FREE again."""
+        remaining_valid = self._blocks[block].valid_pages
+        if remaining_valid:
+            raise FlashError(
+                f"erase of block {block} with {remaining_valid} valid pages; "
+                "GC must migrate valid pages first"
+            )
+        for ppa in self._geometry.ppas_of_block(block):
+            self._page_state[ppa] = PageState.FREE
+            self._page_lpa[ppa] = None
+            self._oob.pop(ppa, None)
+        state = self._blocks[block]
+        state.erase_count += 1
+        state.write_pointer = 0
+        self.counters.block_erases += 1
+        channel = self._geometry.block_to_channel(block)
+        occupancy = self._config.erase_latency_us / self._config.dies_per_channel
+        return self.occupy_channel(channel, now_us, occupancy)
+
+    # ------------------------------------------------------------------ #
+    # Bulk helpers
+    # ------------------------------------------------------------------ #
+    def erase_counts(self) -> List[int]:
+        """Erase counter of every block (for wear-leveling analysis)."""
+        return [b.erase_count for b in self._blocks]
+
+    def blocks_by_valid_pages(self, candidates: Iterable[int]) -> List[int]:
+        """Sort candidate blocks by ascending valid-page count (greedy GC)."""
+        return sorted(candidates, key=lambda b: self._blocks[b].valid_pages)

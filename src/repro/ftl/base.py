@@ -1,0 +1,145 @@
+"""The FTL interface shared by the baselines and LeaFTL.
+
+An FTL owns the logical-to-physical mapping table.  The SSD model
+(:class:`repro.ssd.ssd.SimulatedSSD`) is responsible for everything else —
+flash state, write buffering, data caching, GC and wear leveling — and talks
+to the FTL through this interface:
+
+* :meth:`FTL.translate` resolves an LPA to a PPA for the read path, and
+  reports any flash accesses the resolution itself required (translation
+  page fetches in DFTL/SFTL, out-of-band corrections in LeaFTL);
+* :meth:`FTL.update_batch` records a batch of freshly programmed
+  ``(LPA, PPA)`` mappings after a write-buffer flush or a GC migration;
+* :meth:`FTL.resident_bytes` / :meth:`FTL.full_mapping_bytes` report the
+  DRAM footprint, which drives the data-cache sizing.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class TranslationResult:
+    """Outcome of a single LPA→PPA translation.
+
+    Attributes
+    ----------
+    ppa:
+        The physical page address, or ``None`` if the LPA has never been
+        written (the host is reading unwritten space).
+    translation_flash_reads:
+        Flash page reads the FTL performed to resolve the mapping (e.g. a
+        DFTL translation-page fetch or a LeaFTL misprediction correction).
+    translation_flash_writes:
+        Flash page writes triggered by the resolution (e.g. eviction of a
+        dirty DFTL translation page).
+    mispredicted:
+        True when a learned segment returned an inaccurate PPA that had to
+        be corrected through the OOB reverse mapping (LeaFTL only).
+    levels_searched:
+        Number of log-structure levels inspected (LeaFTL only; 0 otherwise).
+    """
+
+    ppa: Optional[int]
+    translation_flash_reads: int = 0
+    translation_flash_writes: int = 0
+    mispredicted: bool = False
+    levels_searched: int = 0
+
+
+@dataclass
+class FTLStats:
+    """Counters common to every FTL implementation."""
+
+    lookups: int = 0
+    updates: int = 0
+    translation_page_reads: int = 0
+    translation_page_writes: int = 0
+    mispredictions: int = 0
+
+    def reset(self) -> None:
+        self.lookups = 0
+        self.updates = 0
+        self.translation_page_reads = 0
+        self.translation_page_writes = 0
+        self.mispredictions = 0
+
+
+class FTL(abc.ABC):
+    """Abstract base class of all flash translation layers."""
+
+    #: Human-readable scheme name used in reports and benchmark tables.
+    name: str = "ftl"
+
+    def __init__(self, mapping_budget_bytes: Optional[int] = None) -> None:
+        #: Maximum bytes of DRAM the mapping structures may occupy
+        #: (``None`` means unlimited — used by memory-footprint studies).
+        self.mapping_budget_bytes = mapping_budget_bytes
+        self.stats = FTLStats()
+
+    # ------------------------------------------------------------------ #
+    # Address translation
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def translate(self, lpa: int) -> TranslationResult:
+        """Resolve ``lpa`` to a physical page address for the read path."""
+
+    @abc.abstractmethod
+    def update_batch(self, mappings: Sequence[Tuple[int, int]]) -> None:
+        """Record freshly written ``(lpa, ppa)`` pairs (buffer flush or GC).
+
+        The pairs arrive in programming order: when the write buffer is
+        flushed LPA-sorted (the default), both LPAs and PPAs are ascending.
+        """
+
+    def update(self, lpa: int, ppa: int) -> None:
+        """Record a single mapping; convenience wrapper over update_batch."""
+        self.update_batch([(lpa, ppa)])
+
+    @abc.abstractmethod
+    def exists(self, lpa: int) -> bool:
+        """True when the FTL has a mapping for ``lpa``."""
+
+    # ------------------------------------------------------------------ #
+    # Memory accounting
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def resident_bytes(self) -> int:
+        """Bytes of controller DRAM the mapping structures currently occupy."""
+
+    @abc.abstractmethod
+    def full_mapping_bytes(self) -> int:
+        """Bytes needed to keep the *entire* mapping structure in DRAM.
+
+        This is the quantity compared in Figures 15 and 19 of the paper: it
+        ignores any caching budget and measures how compactly each scheme
+        can represent all live mappings.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Hooks with default implementations
+    # ------------------------------------------------------------------ #
+    def invalidate(self, lpa: int) -> None:
+        """Forget the mapping for ``lpa`` (TRIM).  Optional."""
+
+    def maintenance(self) -> None:
+        """Periodic background work (e.g. LeaFTL segment compaction)."""
+
+    def mapped_lpa_count(self) -> Optional[int]:
+        """Number of live LPAs the FTL believes are mapped, if tracked."""
+        return None
+
+    def describe(self) -> Dict[str, float]:
+        """Implementation-specific metrics for reports (may be extended)."""
+        return {
+            "lookups": float(self.stats.lookups),
+            "updates": float(self.stats.updates),
+            "translation_page_reads": float(self.stats.translation_page_reads),
+            "translation_page_writes": float(self.stats.translation_page_writes),
+            "mispredictions": float(self.stats.mispredictions),
+            "resident_bytes": float(self.resident_bytes()),
+            "full_mapping_bytes": float(self.full_mapping_bytes()),
+        }

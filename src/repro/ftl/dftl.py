@@ -1,0 +1,172 @@
+"""DFTL: demand-based page-level FTL (Gupta et al., ASPLOS 2009).
+
+DFTL keeps the complete page-level mapping table in dedicated *translation
+pages* on flash and caches only the recently used entries in the in-device
+DRAM:
+
+* the **Cached Mapping Table (CMT)** holds individual ``LPA → PPA`` entries
+  with LRU replacement, bounded by the DRAM budget;
+* the **Global Translation Directory (GTD)** locates the flash-resident
+  translation page of any LPA (modelled implicitly — its footprint is tiny
+  and identical across schemes);
+* a CMT miss costs one flash read (fetch the translation page); evicting a
+  dirty entry costs a read-modify-write of its translation page, amortized by
+  writing back every dirty CMT entry that belongs to the same translation
+  page (the "batch update" optimization of the original paper).
+
+This is the primary memory-footprint baseline of the LeaFTL evaluation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.config import DFTLConfig
+from repro.ftl.base import FTL, TranslationResult
+
+
+class DFTL(FTL):
+    """Demand-based FTL with an LRU cached mapping table."""
+
+    name = "DFTL"
+
+    def __init__(
+        self,
+        mapping_budget_bytes: Optional[int] = None,
+        config: Optional[DFTLConfig] = None,
+    ) -> None:
+        super().__init__(mapping_budget_bytes=mapping_budget_bytes)
+        self._config = config or DFTLConfig()
+        #: CMT: lpa -> (ppa, dirty flag); ordered by recency (LRU first).
+        self._cmt: "OrderedDict[int, Tuple[int, bool]]" = OrderedDict()
+        #: The flash-resident translation pages, flattened to lpa -> ppa.
+        self._flash_table: Dict[int, int] = {}
+        #: Dirty CMT entries grouped by translation page (for batched write-back).
+        self._dirty_by_tp: Dict[int, set] = {}
+
+    # ------------------------------------------------------------------ #
+    # Geometry helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def config(self) -> DFTLConfig:
+        return self._config
+
+    def _translation_page_of(self, lpa: int) -> int:
+        return lpa // self._config.entries_per_translation_page
+
+    def _max_cached_entries(self) -> Optional[int]:
+        if self.mapping_budget_bytes is None:
+            return None
+        return max(1, self.mapping_budget_bytes // self._config.entry_bytes)
+
+    # ------------------------------------------------------------------ #
+    # CMT management
+    # ------------------------------------------------------------------ #
+    def _touch(self, lpa: int) -> None:
+        self._cmt.move_to_end(lpa)
+
+    def _mark_dirty(self, lpa: int) -> None:
+        self._dirty_by_tp.setdefault(self._translation_page_of(lpa), set()).add(lpa)
+
+    def _mark_clean(self, lpa: int) -> None:
+        tp = self._translation_page_of(lpa)
+        dirty = self._dirty_by_tp.get(tp)
+        if dirty is not None:
+            dirty.discard(lpa)
+            if not dirty:
+                del self._dirty_by_tp[tp]
+
+    def _evict_if_needed(self) -> Tuple[int, int]:
+        """Evict LRU entries until the CMT fits its budget.
+
+        Returns ``(flash_reads, flash_writes)`` incurred by dirty evictions.
+        """
+        limit = self._max_cached_entries()
+        reads = 0
+        writes = 0
+        if limit is None:
+            return reads, writes
+        while len(self._cmt) > limit:
+            victim_lpa, (victim_ppa, dirty) = self._cmt.popitem(last=False)
+            if not dirty:
+                continue
+            # Read-modify-write of the victim's translation page; batch every
+            # dirty CMT entry that belongs to the same translation page.
+            tp = self._translation_page_of(victim_lpa)
+            self._flash_table[victim_lpa] = victim_ppa
+            self._mark_clean(victim_lpa)
+            for lpa in list(self._dirty_by_tp.get(tp, ())):
+                ppa, _entry_dirty = self._cmt[lpa]
+                self._flash_table[lpa] = ppa
+                self._cmt[lpa] = (ppa, False)
+            self._dirty_by_tp.pop(tp, None)
+            reads += 1
+            writes += 1
+            self.stats.translation_page_reads += 1
+            self.stats.translation_page_writes += 1
+        return reads, writes
+
+    # ------------------------------------------------------------------ #
+    # FTL interface
+    # ------------------------------------------------------------------ #
+    def translate(self, lpa: int) -> TranslationResult:
+        self.stats.lookups += 1
+        if lpa in self._cmt:
+            ppa, _dirty = self._cmt[lpa]
+            self._touch(lpa)
+            return TranslationResult(ppa=ppa)
+
+        if lpa not in self._flash_table:
+            # Never written: no translation page holds this entry.
+            return TranslationResult(ppa=None)
+
+        # CMT miss: fetch the translation page from flash (one page read),
+        # install the entry, then evict if the CMT exceeded its budget.
+        ppa = self._flash_table[lpa]
+        self.stats.translation_page_reads += 1
+        self._cmt[lpa] = (ppa, False)
+        self._touch(lpa)
+        extra_reads, extra_writes = self._evict_if_needed()
+        return TranslationResult(
+            ppa=ppa,
+            translation_flash_reads=1 + extra_reads,
+            translation_flash_writes=extra_writes,
+        )
+
+    def update_batch(self, mappings: Sequence[Tuple[int, int]]) -> None:
+        for lpa, ppa in mappings:
+            self._cmt[lpa] = (ppa, True)
+            self._mark_dirty(lpa)
+            self._touch(lpa)
+            self.stats.updates += 1
+        self._evict_if_needed()
+
+    def exists(self, lpa: int) -> bool:
+        return lpa in self._cmt or lpa in self._flash_table
+
+    def invalidate(self, lpa: int) -> None:
+        self._cmt.pop(lpa, None)
+        self._mark_clean(lpa)
+        self._flash_table.pop(lpa, None)
+
+    # ------------------------------------------------------------------ #
+    # Memory accounting
+    # ------------------------------------------------------------------ #
+    def resident_bytes(self) -> int:
+        return len(self._cmt) * self._config.entry_bytes
+
+    def full_mapping_bytes(self) -> int:
+        """Size of the complete page-level table for all live mappings."""
+        live = set(self._flash_table)
+        live.update(self._cmt)
+        return len(live) * self._config.entry_bytes
+
+    def mapped_lpa_count(self) -> Optional[int]:
+        live = set(self._flash_table)
+        live.update(self._cmt)
+        return len(live)
+
+    def cmt_entry_count(self) -> int:
+        """Number of entries currently cached (for tests and reports)."""
+        return len(self._cmt)

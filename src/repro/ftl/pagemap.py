@@ -1,0 +1,54 @@
+"""Ideal page-level mapping: the textbook one-entry-per-page FTL.
+
+This is the upper bound used throughout the paper as the reference point for
+memory footprint: every mapped LPA costs ``entry_bytes`` (8 bytes: 4-byte LPA
++ 4-byte PPA) of DRAM, and every lookup is an O(1) dictionary access with no
+extra flash traffic.  It is unconstrained by any DRAM budget, so it is useful
+as ground truth in tests and as the denominator in memory-reduction figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.ftl.base import FTL, TranslationResult
+
+
+class PageLevelFTL(FTL):
+    """A fully-resident page-level mapping table."""
+
+    name = "PageMap"
+
+    def __init__(self, entry_bytes: int = 8) -> None:
+        super().__init__(mapping_budget_bytes=None)
+        if entry_bytes <= 0:
+            raise ValueError("entry_bytes must be positive")
+        self._entry_bytes = entry_bytes
+        self._table: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # FTL interface
+    # ------------------------------------------------------------------ #
+    def translate(self, lpa: int) -> TranslationResult:
+        self.stats.lookups += 1
+        return TranslationResult(ppa=self._table.get(lpa))
+
+    def update_batch(self, mappings: Sequence[Tuple[int, int]]) -> None:
+        for lpa, ppa in mappings:
+            self._table[lpa] = ppa
+            self.stats.updates += 1
+
+    def exists(self, lpa: int) -> bool:
+        return lpa in self._table
+
+    def invalidate(self, lpa: int) -> None:
+        self._table.pop(lpa, None)
+
+    def resident_bytes(self) -> int:
+        return len(self._table) * self._entry_bytes
+
+    def full_mapping_bytes(self) -> int:
+        return len(self._table) * self._entry_bytes
+
+    def mapped_lpa_count(self) -> Optional[int]:
+        return len(self._table)

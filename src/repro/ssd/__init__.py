@@ -1,0 +1,24 @@
+"""SSD substrate: cache, write buffer, GC, wear leveling and the device model."""
+
+from repro.ssd.cache import CacheStats, LRUDataCache
+from repro.ssd.gc import GCPolicyConfig, GreedyGCPolicy
+from repro.ssd.ssd import SimulatedSSD, SimulationError, SSDOptions
+from repro.ssd.stats import LatencyRecorder, SSDStats
+from repro.ssd.wear_leveling import WearLeveler, WearLevelingConfig
+from repro.ssd.write_buffer import WriteBuffer, WriteBufferStats
+
+__all__ = [
+    "CacheStats",
+    "LRUDataCache",
+    "GCPolicyConfig",
+    "GreedyGCPolicy",
+    "SimulatedSSD",
+    "SimulationError",
+    "SSDOptions",
+    "LatencyRecorder",
+    "SSDStats",
+    "WearLeveler",
+    "WearLevelingConfig",
+    "WriteBuffer",
+    "WriteBufferStats",
+]

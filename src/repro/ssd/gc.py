@@ -1,0 +1,65 @@
+"""Garbage collection policy (Section 3.6 of the paper).
+
+LeaFTL preserves the conventional GC policy of modern SSDs: when the free
+block ratio drops below a threshold, the *greedy* policy picks the candidate
+blocks with the fewest valid pages (minimising migration traffic), migrates
+their valid pages to freshly allocated blocks and erases them.
+
+The policy layer here is deliberately separate from the mechanism (which
+lives in :class:`repro.ssd.ssd.SimulatedSSD`): the policy decides *when* to
+collect and *which* blocks to collect; the SSD performs the page movement,
+relearns the affected mappings and erases the victims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.flash.allocator import BlockAllocator
+from repro.flash.flash_array import FlashArray
+
+
+@dataclass
+class GCPolicyConfig:
+    """Thresholds controlling garbage collection."""
+
+    #: Start GC when the free-block ratio drops below this value.
+    threshold: float = 0.15
+    #: Stop GC once the free-block ratio recovers to this value.
+    restore: float = 0.25
+    #: Upper bound of victims processed per invocation (keeps pauses short).
+    max_victims_per_invocation: int = 64
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold < self.restore <= 1.0:
+            raise ValueError("require 0 < threshold < restore <= 1")
+        if self.max_victims_per_invocation <= 0:
+            raise ValueError("max_victims_per_invocation must be positive")
+
+
+class GreedyGCPolicy:
+    """Greedy (min-valid-pages-first) victim selection."""
+
+    def __init__(self, config: GCPolicyConfig | None = None) -> None:
+        self.config = config or GCPolicyConfig()
+
+    def should_collect(self, allocator: BlockAllocator) -> bool:
+        """True when the free-block ratio fell below the GC threshold."""
+        return allocator.free_ratio() < self.config.threshold
+
+    def should_stop(self, allocator: BlockAllocator) -> bool:
+        """True when enough free blocks have been reclaimed."""
+        return allocator.free_ratio() >= self.config.restore
+
+    def select_victims(
+        self, flash: FlashArray, allocator: BlockAllocator
+    ) -> List[int]:
+        """Candidate blocks ordered by ascending valid-page count.
+
+        Blocks with zero valid pages come first (they can be erased without
+        any migration); the list is truncated to the per-invocation limit.
+        """
+        candidates = allocator.gc_candidates()
+        ordered = flash.blocks_by_valid_pages(candidates)
+        return ordered[: self.config.max_victims_per_invocation]

@@ -1,0 +1,512 @@
+"""The trace-driven SSD model that ties flash, FTL, cache, buffer and GC together.
+
+This is the WiscSim-equivalent substrate of the reproduction.  It models an
+SSD controller at the level of detail the LeaFTL evaluation depends on:
+
+* a write buffer that batches host writes and programs them one flash block
+  at a time, with LPA-sorted flushes (Section 3.3);
+* an LRU read/write data cache whose capacity is whatever DRAM the mapping
+  table leaves free — this is the mechanism that converts LeaFTL's memory
+  savings into performance (Figure 16);
+* per-channel latency accounting: every flash read/program/erase occupies
+  its channel, so background flushes and GC delay later reads that land on
+  the same channel;
+* greedy garbage collection and throttled wear leveling that relearn the
+  mappings of migrated pages (Section 3.6);
+* OOB reverse mappings written with every page, including the
+  ``[-gamma, +gamma]`` neighbour window LeaFTL needs to correct
+  mispredictions with a single extra flash read (Section 3.5);
+* verification of every translated read against the reverse mapping, which
+  is how mispredictions are detected and accounted (Figure 24).
+
+The simulator keeps a ground-truth ``LPA -> PPA`` map (the role the page
+validity table plays in real firmware) that is used **only** to maintain
+flash page validity for GC — never to answer host reads; reads always go
+through the FTL under test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.config import DRAMBudget, SSDConfig
+from repro.flash.allocator import BlockAllocator
+from repro.flash.flash_array import FlashArray, PageState
+from repro.flash.oob import OOBArea, validate_gamma_fits_oob
+from repro.ftl.base import FTL
+from repro.ssd.cache import LRUDataCache
+from repro.ssd.gc import GCPolicyConfig, GreedyGCPolicy
+from repro.ssd.stats import SSDStats
+from repro.ssd.wear_leveling import WearLeveler, WearLevelingConfig
+from repro.ssd.write_buffer import WriteBuffer
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulated device reaches an inconsistent state."""
+
+
+@dataclass
+class SSDOptions:
+    """Behavioural switches of the simulator (ablation knobs)."""
+
+    #: Sort the write buffer by LPA before flushing (Section 3.3).
+    sort_buffer_on_flush: bool = True
+    #: Enable static wear leveling.
+    wear_leveling: bool = True
+    #: Raise on unrecoverable translation errors instead of falling back.
+    strict: bool = True
+
+
+class SimulatedSSD:
+    """A trace-driven SSD with a pluggable flash translation layer."""
+
+    def __init__(
+        self,
+        config: SSDConfig,
+        ftl: FTL,
+        dram_budget: Optional[DRAMBudget] = None,
+        options: Optional[SSDOptions] = None,
+        gc_config: Optional[GCPolicyConfig] = None,
+        wear_config: Optional[WearLevelingConfig] = None,
+    ) -> None:
+        self.config = config
+        self.ftl = ftl
+        self.options = options or SSDOptions()
+        self.dram_budget = dram_budget or DRAMBudget(dram_bytes=config.dram_size)
+
+        gamma = self._ftl_oob_window()
+        validate_gamma_fits_oob(gamma, config.oob_size)
+
+        self.flash = FlashArray(config)
+        self.allocator = BlockAllocator(self.flash)
+        self.write_buffer = WriteBuffer(
+            capacity_pages=config.write_buffer_pages,
+            sort_on_flush=self.options.sort_buffer_on_flush,
+        )
+        self.cache = LRUDataCache(capacity_pages=self._cache_capacity_pages())
+        self.gc_policy = GreedyGCPolicy(
+            gc_config
+            or GCPolicyConfig(threshold=config.gc_threshold, restore=config.gc_restore)
+        )
+        self.wear_leveler = (
+            WearLeveler(wear_config) if self.options.wear_leveling else None
+        )
+        self.stats = SSDStats()
+
+        #: Ground truth of the live flash page of every LPA (page validity).
+        self._current_ppa: Dict[int, int] = {}
+        self._now_us = 0.0
+        self._prev_flush_finish_us = 0.0
+        self._translation_reads_seen = 0
+        self._translation_writes_seen = 0
+        self._background_channel = 0
+        self._in_gc = False
+
+    # ------------------------------------------------------------------ #
+    # Small helpers
+    # ------------------------------------------------------------------ #
+    def _ftl_oob_window(self) -> int:
+        window = getattr(self.ftl, "oob_window", None)
+        return int(window()) if callable(window) else 0
+
+    def _cache_capacity_pages(self) -> int:
+        cache_bytes = self.dram_budget.cache_bytes(self.ftl.resident_bytes())
+        return max(1, cache_bytes // self.config.page_size)
+
+    @property
+    def now_us(self) -> float:
+        """Current simulated time in microseconds."""
+        return self._now_us
+
+    @property
+    def logical_pages(self) -> int:
+        return self.config.logical_pages
+
+    def _check_lpa(self, lpa: int) -> None:
+        if not 0 <= lpa < self.config.logical_pages:
+            raise ValueError(f"LPA {lpa} outside the device ({self.config.logical_pages} pages)")
+
+    def _next_background_channel(self) -> int:
+        self._background_channel = (self._background_channel + 1) % self.config.channels
+        return self._background_channel
+
+    # ------------------------------------------------------------------ #
+    # Translation-page traffic accounting (DFTL / SFTL)
+    # ------------------------------------------------------------------ #
+    def _sync_translation_counters(self, start_us: float, foreground: bool) -> float:
+        """Charge flash time for translation-page I/O the FTL just performed.
+
+        Returns the completion time of that I/O; ``start_us`` when none
+        happened.  Foreground charges (read path) are serial with the host
+        request; background charges only occupy a channel.
+        """
+        reads = self.ftl.stats.translation_page_reads - self._translation_reads_seen
+        writes = self.ftl.stats.translation_page_writes - self._translation_writes_seen
+        self._translation_reads_seen = self.ftl.stats.translation_page_reads
+        self._translation_writes_seen = self.ftl.stats.translation_page_writes
+        if reads == 0 and writes == 0:
+            return start_us
+        self.stats.translation_page_reads += reads
+        self.stats.translation_page_writes += writes
+        finish = start_us
+        for _ in range(reads):
+            channel = self._next_background_channel()
+            done = self.flash.occupy_channel(channel, start_us, self.config.read_latency_us)
+            finish = max(finish, done) if foreground else finish
+        for _ in range(writes):
+            channel = self._next_background_channel()
+            done = self.flash.occupy_channel(channel, start_us, self.config.write_latency_us)
+            finish = max(finish, done) if foreground else finish
+        return finish
+
+    # ------------------------------------------------------------------ #
+    # Host write path
+    # ------------------------------------------------------------------ #
+    def write(self, lpa: int) -> float:
+        """Write one logical page; returns the request latency in microseconds."""
+        self._check_lpa(lpa)
+        start = self._now_us
+        self.stats.host_writes += 1
+        self.stats.host_write_pages += 1
+
+        self.cache.insert(lpa, dirty=True)
+        self.write_buffer.add(lpa)
+
+        latency = self.config.dram_latency_us
+        if self.write_buffer.is_full:
+            # Double-buffering backpressure: if the previous flush is still
+            # draining to flash, this write waits for it.
+            wait = max(0.0, self._prev_flush_finish_us - self._now_us)
+            latency += wait
+            self._now_us = start + latency
+            self._flush_buffer()
+        else:
+            self._now_us = start + latency
+        self.stats.write_latency.record(latency)
+        return latency
+
+    def flush(self) -> None:
+        """Drain the write buffer (e.g. at the end of a trace replay)."""
+        if len(self.write_buffer):
+            self._flush_buffer()
+
+    def _flush_buffer(self) -> None:
+        lpas = self.write_buffer.drain()
+        if not lpas:
+            return
+        self.stats.buffer_flushes += 1
+        finish = self._program_batch(lpas, purpose="host")
+        self._prev_flush_finish_us = max(self._prev_flush_finish_us, finish)
+        self.stats.mapping_bytes_samples.append(self.ftl.resident_bytes())
+        self.cache.resize(self._cache_capacity_pages())
+        self._maybe_collect_garbage()
+        self._maybe_level_wear()
+
+    # ------------------------------------------------------------------ #
+    # Programming batches (host flush, GC migration, wear leveling)
+    # ------------------------------------------------------------------ #
+    def _program_batch(self, lpas: Sequence[int], purpose: str) -> float:
+        """Program ``lpas`` block by block, learn mappings, invalidate old pages.
+
+        Returns the completion time of the last program operation.
+        """
+        finish = self._now_us
+        pages_per_block = self.config.pages_per_block
+        for start in range(0, len(lpas), pages_per_block):
+            chunk = lpas[start : start + pages_per_block]
+            finish = max(finish, self._program_block_chunk(chunk, purpose))
+        return finish
+
+    def _program_block_chunk(self, chunk: Sequence[int], purpose: str) -> float:
+        block = self.allocator.allocate_block()
+        first_ppa = self.flash.geometry.first_ppa_of_block(block)
+        mappings: List[Tuple[int, int]] = [
+            (lpa, first_ppa + offset) for offset, lpa in enumerate(chunk)
+        ]
+        gamma = self._ftl_oob_window()
+        ppa_to_lpa = {ppa: lpa for lpa, ppa in mappings}
+
+        finish = self._now_us
+        for lpa, ppa in mappings:
+            oob = self._build_oob(lpa, ppa, gamma, ppa_to_lpa)
+            done = self.flash.program_page(ppa, lpa, oob, now_us=self._now_us)
+            finish = max(finish, done)
+            self._record_program(purpose)
+            old_ppa = self._current_ppa.get(lpa)
+            if old_ppa is not None:
+                self.flash.invalidate_page(old_ppa)
+            self._current_ppa[lpa] = ppa
+            if purpose == "host":
+                self.cache.mark_clean(lpa)
+        self.allocator.seal_block(block)
+
+        self.ftl.update_batch(mappings)
+        self._sync_translation_counters(self._now_us, foreground=False)
+        return finish
+
+    def _record_program(self, purpose: str) -> None:
+        if purpose == "host":
+            self.stats.data_page_writes += 1
+        elif purpose == "gc":
+            self.stats.gc_page_writes += 1
+        elif purpose == "wear":
+            self.stats.wl_page_moves += 1
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown program purpose {purpose!r}")
+
+    def _build_oob(
+        self, lpa: int, ppa: int, gamma: int, ppa_to_lpa: Dict[int, int]
+    ) -> OOBArea:
+        """OOB contents: own reverse mapping + the ±gamma neighbour window."""
+        if gamma == 0:
+            return OOBArea(lpa=lpa, neighbor_lpas=[lpa])
+        neighbors: List[Optional[int]] = []
+        for neighbor_ppa in range(ppa - gamma, ppa + gamma + 1):
+            if neighbor_ppa == ppa:
+                neighbors.append(lpa)
+            elif neighbor_ppa in ppa_to_lpa:
+                neighbors.append(ppa_to_lpa[neighbor_ppa])
+            else:
+                stored = None
+                if 0 <= neighbor_ppa < self.flash.geometry.total_pages:
+                    stored = self.flash.lpa_of(neighbor_ppa)
+                neighbors.append(stored)
+        return OOBArea(lpa=lpa, neighbor_lpas=neighbors)
+
+    # ------------------------------------------------------------------ #
+    # Host read path
+    # ------------------------------------------------------------------ #
+    def read(self, lpa: int) -> float:
+        """Read one logical page; returns the request latency in microseconds."""
+        self._check_lpa(lpa)
+        start = self._now_us
+        self.stats.host_reads += 1
+        self.stats.host_read_pages += 1
+
+        if lpa in self.write_buffer:
+            self.stats.buffer_hits += 1
+            latency = self.config.dram_latency_us
+        elif self.cache.lookup(lpa):
+            self.stats.cache_hits += 1
+            latency = self.config.dram_latency_us
+        else:
+            latency = self._read_from_flash(lpa, start)
+        self._now_us = start + latency
+        self.stats.read_latency.record(latency)
+        return latency
+
+    def _read_from_flash(self, lpa: int, start: float) -> float:
+        translation = self.ftl.translate(lpa)
+        clock = self._sync_translation_counters(start, foreground=True)
+
+        if translation.ppa is None:
+            # Reading unwritten space: served as zeroes from the controller.
+            self.stats.unmapped_reads += 1
+            return max(clock - start, 0.0) + self.config.dram_latency_us
+
+        self.stats.translation_lookups += 1
+        ppa = translation.ppa
+        if self.flash.page_state(ppa) is PageState.FREE:
+            # The learned model pointed past the programmed region of a block
+            # (possible at block boundaries with gamma > 0): read the nearest
+            # programmed page of the error window instead and correct from
+            # its OOB, which keeps the cost at the same two flash reads.
+            fallback = self._nearest_programmed_page(lpa, ppa)
+            if fallback is None:
+                finish = self._fail_translation(lpa, ppa, clock)
+            else:
+                finish = self.flash.read_page(fallback, now_us=clock)
+                if self.flash.lpa_of(fallback) != lpa:
+                    finish = self._correct_misprediction(lpa, ppa, fallback, finish)
+        else:
+            finish = self.flash.read_page(ppa, now_us=clock)
+            if self.flash.lpa_of(ppa) != lpa:
+                finish = self._correct_misprediction(lpa, ppa, ppa, finish)
+        self.stats.flash_reads_for_host += 1
+        self.cache.insert(lpa, dirty=False)
+        return finish - start
+
+    def _nearest_programmed_page(self, lpa: int, predicted_ppa: int) -> Optional[int]:
+        """The programmed page of the ±gamma window closest to the prediction."""
+        gamma = max(self._ftl_oob_window(), 1)
+        total = self.flash.geometry.total_pages
+        for distance in range(0, gamma + 1):
+            for candidate in (predicted_ppa - distance, predicted_ppa + distance):
+                if 0 <= candidate < total and self.flash.page_state(candidate) is not PageState.FREE:
+                    return candidate
+        return None
+
+    def _correct_misprediction(
+        self, lpa: int, predicted_ppa: int, read_ppa: int, clock: float
+    ) -> float:
+        """Recover the true PPA after a misprediction (Section 3.5).
+
+        ``read_ppa`` is the page whose data and OOB were just fetched; its
+        OOB stores the reverse mappings of its ±gamma neighbourhood, so the
+        correction normally costs exactly one more flash read.  If the OOB
+        cannot resolve the LPA (the window crossed a block boundary when the
+        page was written), the simulator falls back to scanning the error
+        window page by page, which is the paper's baseline log(gamma)
+        strategy.
+        """
+        self.stats.mispredictions += 1
+        oob = self.flash.oob_of(read_ppa)
+        resolver = getattr(self.ftl, "resolve_misprediction", None)
+        correct_ppa: Optional[int] = None
+        if oob is not None and callable(resolver):
+            correct_ppa = resolver(lpa, read_ppa, oob)
+
+        if correct_ppa is not None and self.flash.lpa_of(correct_ppa) == lpa:
+            finish = self.flash.read_page(correct_ppa, now_us=clock)
+            self.stats.misprediction_extra_reads += 1
+            return finish
+
+        # OOB could not resolve: scan the error window around the prediction.
+        gamma = max(self._ftl_oob_window(), 1)
+        total = self.flash.geometry.total_pages
+        finish = clock
+        for candidate in range(predicted_ppa - gamma, predicted_ppa + gamma + 1):
+            if candidate == read_ppa or not 0 <= candidate < total:
+                continue
+            if self.flash.page_state(candidate) is PageState.FREE:
+                continue
+            finish = self.flash.read_page(candidate, now_us=finish)
+            self.stats.misprediction_extra_reads += 1
+            if self.flash.lpa_of(candidate) == lpa:
+                return finish
+        return self._fail_translation(lpa, predicted_ppa, finish)
+
+    def _fail_translation(
+        self, lpa: int, predicted_ppa: Optional[int], clock: float
+    ) -> float:
+        """Last-resort handling of an unrecoverable translation."""
+        if self.options.strict:
+            raise SimulationError(
+                f"unrecoverable misprediction for LPA {lpa}: predicted PPA {predicted_ppa}"
+            )
+        correct_ppa = self._current_ppa.get(lpa)
+        if correct_ppa is None:
+            raise SimulationError(f"LPA {lpa} has no live flash page")
+        finish = self.flash.read_page(correct_ppa, now_us=clock)
+        self.stats.misprediction_extra_reads += 1
+        return finish
+
+    # ------------------------------------------------------------------ #
+    # Garbage collection
+    # ------------------------------------------------------------------ #
+    def _maybe_collect_garbage(self) -> None:
+        if self._in_gc or not self.gc_policy.should_collect(self.allocator):
+            return
+        self._in_gc = True
+        try:
+            self.stats.gc_invocations += 1
+            while not self.gc_policy.should_stop(self.allocator):
+                free_before = self.allocator.free_block_count()
+                victims = self.gc_policy.select_victims(self.flash, self.allocator)
+                if not victims:
+                    break
+                self._collect_blocks(victims, purpose="gc")
+                if self.allocator.free_block_count() <= free_before:
+                    # No net space reclaimed (victims were fully valid):
+                    # stop rather than amplify writes indefinitely.
+                    break
+        finally:
+            self._in_gc = False
+
+    def _collect_blocks(self, blocks: Sequence[int], purpose: str) -> None:
+        """Migrate the valid pages of several victims, then erase them.
+
+        Valid pages from all victims are packed into shared destination
+        blocks (one migration batch), which is what lets GC reclaim space
+        even when every victim still holds some valid data.
+        """
+        lpas: List[int] = []
+        for block in blocks:
+            for ppa in self.flash.valid_ppas_of_block(block):
+                self.flash.read_page(ppa, now_us=self._now_us)
+                self.stats.gc_page_reads += 1
+                lpa = self.flash.lpa_of(ppa)
+                if lpa is None:  # pragma: no cover - defensive
+                    raise SimulationError(f"valid page {ppa} without reverse mapping")
+                lpas.append(lpa)
+        if lpas:
+            # Section 3.6: migrated pages are sorted by LPA and relearned,
+            # exactly like a regular buffer flush.
+            self._program_batch(sorted(set(lpas)), purpose=purpose)
+        for block in blocks:
+            if self.flash.valid_page_count(block):
+                # A migrated LPA was overwritten concurrently; skip for now.
+                continue
+            self.flash.erase_block(block, now_us=self._now_us)
+            if purpose == "gc":
+                self.stats.gc_block_erases += 1
+            self.allocator.release_block(block)
+
+    def _collect_block(self, block: int, purpose: str) -> None:
+        """Migrate and erase a single block (wear-leveling path)."""
+        self._collect_blocks([block], purpose=purpose)
+
+    # ------------------------------------------------------------------ #
+    # Wear leveling
+    # ------------------------------------------------------------------ #
+    def _maybe_level_wear(self) -> None:
+        leveler = self.wear_leveler
+        if leveler is None or not leveler.due(self.flash):
+            return
+        if not leveler.imbalanced(self.flash):
+            return
+        for block in leveler.select_cold_blocks(self.flash, self.allocator):
+            self._collect_block(block, purpose="wear")
+
+    # ------------------------------------------------------------------ #
+    # Trace replay
+    # ------------------------------------------------------------------ #
+    def process(self, op: str, lpa: int, npages: int = 1) -> None:
+        """Apply one host request (``op`` is 'R' or 'W') spanning ``npages``."""
+        if npages <= 0:
+            raise ValueError("npages must be positive")
+        if op not in ("R", "W"):
+            raise ValueError(f"unknown operation {op!r}")
+        for offset in range(npages):
+            page = lpa + offset
+            if page >= self.config.logical_pages:
+                break
+            if op == "R":
+                self.read(page)
+            else:
+                self.write(page)
+
+    def run(self, requests: Iterable[Tuple[str, int, int]], drain: bool = True) -> SSDStats:
+        """Replay an iterable of ``(op, lpa, npages)`` requests."""
+        for op, lpa, npages in requests:
+            self.process(op, lpa, npages)
+        if drain:
+            self.flush()
+        self.stats.simulated_time_us = max(
+            self._now_us,
+            max(
+                (self.flash.channel_busy_until(c) for c in range(self.config.channels)),
+                default=0.0,
+            ),
+        )
+        return self.stats
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def mapping_table_bytes(self) -> int:
+        """Current DRAM footprint of the FTL's mapping structures."""
+        return self.ftl.resident_bytes()
+
+    def describe(self) -> Dict[str, float]:
+        """Flat summary used by the experiment harness."""
+        summary = self.stats.summary()
+        summary.update(
+            {
+                "cache_capacity_pages": float(self.cache.capacity_pages),
+                "free_block_ratio": self.allocator.free_ratio(),
+                "wear_imbalance": self.allocator.wear_imbalance(),
+            }
+        )
+        return summary

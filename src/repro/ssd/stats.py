@@ -1,0 +1,206 @@
+"""Statistics collected by the SSD simulator.
+
+The benchmarks derive every paper figure from this single statistics object:
+
+* request latencies  → Figure 16/17/21/22 (average, normalized) and
+  Figure 18 (latency CDF);
+* flash operation counters → Figure 25 (write amplification factor);
+* translation counters → DFTL/SFTL translation-page overhead;
+* misprediction counters → Figure 24;
+* mapping-table footprint samples → Figure 15/19.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+class LatencyRecorder:
+    """Records per-request latencies with a bounded-memory reservoir.
+
+    All latencies contribute to the running sum/count (exact mean), while a
+    reservoir of at most ``reservoir_size`` samples supports percentile and
+    CDF queries without storing millions of floats.  Sampling is
+    deterministic (every k-th request) so repeated runs are reproducible.
+    """
+
+    def __init__(self, reservoir_size: int = 100_000) -> None:
+        if reservoir_size <= 0:
+            raise ValueError("reservoir_size must be positive")
+        self._reservoir_size = reservoir_size
+        self._samples: List[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+        self._min = math.inf
+        self._stride = 1
+
+    def record(self, latency_us: float) -> None:
+        self._count += 1
+        self._sum += latency_us
+        if latency_us > self._max:
+            self._max = latency_us
+        if latency_us < self._min:
+            self._min = latency_us
+        if (self._count - 1) % self._stride == 0:
+            self._samples.append(latency_us)
+            if len(self._samples) >= 2 * self._reservoir_size:
+                # Thin the reservoir: keep every other sample, double stride.
+                self._samples = self._samples[::2]
+                self._stride *= 2
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total_us(self) -> float:
+        return self._sum
+
+    @property
+    def mean_us(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def max_us(self) -> float:
+        return self._max if self._count else 0.0
+
+    @property
+    def min_us(self) -> float:
+        return self._min if self._count else 0.0
+
+    def percentile(self, pct: float) -> float:
+        """Latency at percentile ``pct`` (0-100), from the reservoir."""
+        if not self._samples:
+            return 0.0
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError("pct must be in [0, 100]")
+        ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1, int(round(pct / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def cdf(self, points: Sequence[float] = (0, 30, 60, 90, 99, 99.9)) -> Dict[float, float]:
+        """Latency at the given CDF points (mirrors Figure 18's x-axis)."""
+        return {p: self.percentile(p) for p in points}
+
+    def samples(self) -> List[float]:
+        """A copy of the sampled latencies (for plotting/analysis)."""
+        return list(self._samples)
+
+
+@dataclass
+class SSDStats:
+    """All counters exposed by :class:`repro.ssd.ssd.SimulatedSSD`."""
+
+    # Host-visible traffic.
+    host_reads: int = 0
+    host_writes: int = 0
+    host_read_pages: int = 0
+    host_write_pages: int = 0
+    unmapped_reads: int = 0
+
+    # Where reads were served from.
+    buffer_hits: int = 0
+    cache_hits: int = 0
+    flash_reads_for_host: int = 0
+
+    # Flash traffic breakdown (pages).
+    data_page_writes: int = 0
+    gc_page_reads: int = 0
+    gc_page_writes: int = 0
+    gc_block_erases: int = 0
+    wl_page_moves: int = 0
+    translation_page_reads: int = 0
+    translation_page_writes: int = 0
+
+    # Address translation behaviour.
+    translation_lookups: int = 0
+    mispredictions: int = 0
+    misprediction_extra_reads: int = 0
+
+    # Background activity.
+    buffer_flushes: int = 0
+    gc_invocations: int = 0
+    compactions: int = 0
+
+    # Timing.
+    simulated_time_us: float = 0.0
+
+    read_latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    write_latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+
+    # Mapping-table footprint samples (bytes), recorded at every flush.
+    mapping_bytes_samples: List[int] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # Derived metrics
+    # ------------------------------------------------------------------ #
+    @property
+    def total_requests(self) -> int:
+        return self.host_reads + self.host_writes
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        served = self.buffer_hits + self.cache_hits + self.flash_reads_for_host
+        if served == 0:
+            return 0.0
+        return (self.buffer_hits + self.cache_hits) / served
+
+    @property
+    def total_flash_page_writes(self) -> int:
+        """Every flash page program issued, regardless of purpose."""
+        return (
+            self.data_page_writes
+            + self.gc_page_writes
+            + self.wl_page_moves
+            + self.translation_page_writes
+        )
+
+    @property
+    def write_amplification(self) -> float:
+        """WAF = physical flash writes / host page writes (Figure 25)."""
+        if self.host_write_pages == 0:
+            return 0.0
+        return self.total_flash_page_writes / self.host_write_pages
+
+    @property
+    def misprediction_ratio(self) -> float:
+        """Fraction of translated flash-page accesses that mispredicted (Fig. 24)."""
+        if self.translation_lookups == 0:
+            return 0.0
+        return self.mispredictions / self.translation_lookups
+
+    @property
+    def mean_latency_us(self) -> float:
+        """Mean latency over reads and writes combined."""
+        total = self.read_latency.count + self.write_latency.count
+        if total == 0:
+            return 0.0
+        return (self.read_latency.total_us + self.write_latency.total_us) / total
+
+    @property
+    def mean_mapping_bytes(self) -> float:
+        if not self.mapping_bytes_samples:
+            return 0.0
+        return sum(self.mapping_bytes_samples) / len(self.mapping_bytes_samples)
+
+    @property
+    def peak_mapping_bytes(self) -> int:
+        return max(self.mapping_bytes_samples) if self.mapping_bytes_samples else 0
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dictionary convenient for table printing."""
+        return {
+            "host_reads": float(self.host_reads),
+            "host_writes": float(self.host_writes),
+            "cache_hit_ratio": self.cache_hit_ratio,
+            "mean_latency_us": self.mean_latency_us,
+            "read_p99_us": self.read_latency.percentile(99),
+            "write_amplification": self.write_amplification,
+            "misprediction_ratio": self.misprediction_ratio,
+            "simulated_time_us": self.simulated_time_us,
+            "peak_mapping_bytes": float(self.peak_mapping_bytes),
+            "gc_invocations": float(self.gc_invocations),
+        }

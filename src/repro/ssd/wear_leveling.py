@@ -1,0 +1,72 @@
+"""Wear leveling policy (Section 3.6 of the paper).
+
+LeaFTL keeps the throttling-and-swapping wear-leveling approach of existing
+FTLs: when the erase-count spread between the most and least worn blocks
+exceeds a threshold, data in cold blocks (blocks that have barely been
+erased and hold long-lived data) is migrated so that the cold blocks become
+available for hot data, evening out wear.  After a swap the mappings of the
+migrated pages are relearned and inserted into the mapping table, exactly
+like a GC migration.
+
+The policy only picks the blocks; the SSD performs the migration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.flash.allocator import BlockAllocator
+from repro.flash.flash_array import FlashArray
+
+
+@dataclass
+class WearLevelingConfig:
+    """Thresholds controlling static wear leveling."""
+
+    #: Trigger when (max erase count - min erase count) exceeds this value.
+    imbalance_threshold: int = 8
+    #: Check wear at most once every this many block erases (throttling).
+    check_interval_erases: int = 64
+    #: Number of cold blocks migrated per invocation.
+    blocks_per_invocation: int = 1
+
+    def __post_init__(self) -> None:
+        if self.imbalance_threshold <= 0:
+            raise ValueError("imbalance_threshold must be positive")
+        if self.check_interval_erases <= 0:
+            raise ValueError("check_interval_erases must be positive")
+        if self.blocks_per_invocation <= 0:
+            raise ValueError("blocks_per_invocation must be positive")
+
+
+class WearLeveler:
+    """Static wear leveling by cold-block migration."""
+
+    def __init__(self, config: Optional[WearLevelingConfig] = None) -> None:
+        self.config = config or WearLevelingConfig()
+        self._erases_at_last_check = 0
+
+    def due(self, flash: FlashArray) -> bool:
+        """Throttle: only check after enough erases have happened."""
+        erases = flash.counters.block_erases
+        if erases - self._erases_at_last_check < self.config.check_interval_erases:
+            return False
+        self._erases_at_last_check = erases
+        return True
+
+    def imbalanced(self, flash: FlashArray) -> bool:
+        counts = flash.erase_counts()
+        return (max(counts) - min(counts)) > self.config.imbalance_threshold
+
+    def select_cold_blocks(
+        self, flash: FlashArray, allocator: BlockAllocator
+    ) -> List[int]:
+        """Cold victim blocks: least-erased, fully written, holding valid data."""
+        candidates = [
+            block
+            for block in allocator.gc_candidates()
+            if flash.valid_page_count(block) > 0
+        ]
+        candidates.sort(key=lambda b: (flash.erase_count(b), -flash.valid_page_count(b)))
+        return candidates[: self.config.blocks_per_invocation]

@@ -1,0 +1,62 @@
+"""Workload generators and trace handling."""
+
+from repro.workloads.database import (
+    DATABASE_PROFILES,
+    DATABASE_WORKLOAD_DESCRIPTIONS,
+    DATABASE_WORKLOAD_NAMES,
+    DatabaseProfile,
+    DatabaseWorkload,
+    database_profile,
+    database_workload,
+)
+from repro.workloads.fiu import FIU_PROFILES, FIU_WORKLOAD_NAMES, fiu_profile, fiu_workload
+from repro.workloads.msr import MSR_PROFILES, MSR_WORKLOAD_NAMES, msr_profile, msr_workload
+from repro.workloads.parser import (
+    TraceParseError,
+    parse_msr_line,
+    parse_msr_trace,
+    write_msr_trace,
+)
+from repro.workloads.synthetic import (
+    SyntheticWorkload,
+    WorkloadProfile,
+    generate,
+    jittered_run,
+    sequential_run,
+    strided_run,
+    zipf_lpa,
+)
+from repro.workloads.trace import IORequest, READ, Trace, WRITE
+
+__all__ = [
+    "DATABASE_PROFILES",
+    "DATABASE_WORKLOAD_DESCRIPTIONS",
+    "DATABASE_WORKLOAD_NAMES",
+    "DatabaseProfile",
+    "DatabaseWorkload",
+    "database_profile",
+    "database_workload",
+    "FIU_PROFILES",
+    "FIU_WORKLOAD_NAMES",
+    "fiu_profile",
+    "fiu_workload",
+    "MSR_PROFILES",
+    "MSR_WORKLOAD_NAMES",
+    "msr_profile",
+    "msr_workload",
+    "TraceParseError",
+    "parse_msr_line",
+    "parse_msr_trace",
+    "write_msr_trace",
+    "SyntheticWorkload",
+    "WorkloadProfile",
+    "generate",
+    "jittered_run",
+    "sequential_run",
+    "strided_run",
+    "zipf_lpa",
+    "IORequest",
+    "READ",
+    "WRITE",
+    "Trace",
+]

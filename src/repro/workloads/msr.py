@@ -1,0 +1,113 @@
+"""MSR-Cambridge-like workload profiles (simulator evaluation, Section 4.1).
+
+The paper replays block I/O traces from Microsoft Research Cambridge
+enterprise servers: ``hm`` (hardware monitoring), ``src2`` (source control),
+``prxy`` (web proxy), ``prn`` (print server) and ``usr`` (user home
+directories).  The original traces are not redistributable, so each profile
+below is a synthetic stand-in whose read/write mix, footprint, sequentiality
+and skew follow the published characterisations of those traces.  They are
+deliberately diverse: ``prxy`` is almost write-only with small random
+writes, ``usr`` is read-heavy with long sequential runs, ``src2`` sits in
+between, etc.  What matters for the reproduction is that the *relative*
+behaviour of DFTL / SFTL / LeaFTL across these profiles matches the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.synthetic import SyntheticWorkload, WorkloadProfile
+from repro.workloads.trace import Trace
+
+#: Named profiles for the five MSR-like workloads used throughout the paper.
+MSR_PROFILES: Dict[str, WorkloadProfile] = {
+    "MSR-hm": WorkloadProfile(
+        name="MSR-hm",
+        footprint_pages=160_000,
+        num_requests=60_000,
+        read_ratio=0.35,
+        sequential_fraction=0.40,
+        strided_fraction=0.30,
+        jittered_fraction=0.20,
+        random_fraction=0.10,
+        mean_run_length=40,
+        mean_stride_count=28,
+        zipf_alpha=0.8,
+        seed=11,
+    ),
+    "MSR-src2": WorkloadProfile(
+        name="MSR-src2",
+        footprint_pages=220_000,
+        num_requests=60_000,
+        read_ratio=0.25,
+        sequential_fraction=0.50,
+        strided_fraction=0.25,
+        jittered_fraction=0.15,
+        random_fraction=0.10,
+        mean_run_length=64,
+        mean_stride_count=30,
+        zipf_alpha=0.6,
+        seed=12,
+    ),
+    "MSR-prxy": WorkloadProfile(
+        name="MSR-prxy",
+        footprint_pages=90_000,
+        num_requests=60_000,
+        read_ratio=0.05,
+        sequential_fraction=0.25,
+        strided_fraction=0.25,
+        jittered_fraction=0.30,
+        random_fraction=0.20,
+        mean_run_length=20,
+        mean_stride_count=20,
+        zipf_alpha=0.9,
+        seed=13,
+    ),
+    "MSR-prn": WorkloadProfile(
+        name="MSR-prn",
+        footprint_pages=260_000,
+        num_requests=60_000,
+        read_ratio=0.22,
+        sequential_fraction=0.45,
+        strided_fraction=0.25,
+        jittered_fraction=0.20,
+        random_fraction=0.10,
+        mean_run_length=48,
+        mean_stride_count=26,
+        zipf_alpha=0.7,
+        seed=14,
+    ),
+    "MSR-usr": WorkloadProfile(
+        name="MSR-usr",
+        footprint_pages=300_000,
+        num_requests=60_000,
+        read_ratio=0.55,
+        sequential_fraction=0.55,
+        strided_fraction=0.25,
+        jittered_fraction=0.12,
+        random_fraction=0.08,
+        mean_run_length=96,
+        mean_stride_count=32,
+        zipf_alpha=0.6,
+        seed=15,
+    ),
+}
+
+#: Workload names in the order the paper's figures list them.
+MSR_WORKLOAD_NAMES: List[str] = list(MSR_PROFILES)
+
+
+def msr_profile(name: str) -> WorkloadProfile:
+    """The profile for an MSR-like workload (``'MSR-hm'``, ``'hm'``, ...)."""
+    key = name if name.startswith("MSR-") else f"MSR-{name}"
+    if key not in MSR_PROFILES:
+        raise KeyError(f"unknown MSR workload {name!r}; known: {MSR_WORKLOAD_NAMES}")
+    return MSR_PROFILES[key]
+
+
+def msr_workload(
+    name: str, request_scale: float = 1.0, footprint_scale: float = 1.0
+) -> Trace:
+    """Generate the trace of one MSR-like workload, optionally scaled down."""
+    profile = msr_profile(name).scaled(request_scale, footprint_scale)
+    return SyntheticWorkload(profile).generate()

@@ -1,0 +1,102 @@
+"""Parser for MSR-Cambridge-format block traces.
+
+The MSR Cambridge traces (and the FIU traces re-published in the same
+format) are CSV files with one request per line::
+
+    Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+
+where ``Timestamp`` is in Windows filetime units (100 ns ticks),
+``Type`` is ``Read`` or ``Write``, ``Offset`` and ``Size`` are in bytes.
+If you have access to the original traces, this parser converts them into
+the page-granular :class:`repro.workloads.trace.Trace` the simulator
+replays, so the synthetic stand-ins can be swapped for the real inputs
+without touching the rest of the pipeline.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from repro.workloads.trace import IORequest, READ, Trace, WRITE
+
+#: Windows filetime ticks per microsecond.
+_TICKS_PER_US = 10
+
+
+class TraceParseError(ValueError):
+    """Raised when a trace line cannot be interpreted."""
+
+
+def parse_msr_line(line: str, page_size: int) -> Optional[IORequest]:
+    """Parse one CSV line; returns ``None`` for empty/comment lines."""
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    fields = stripped.split(",")
+    if len(fields) < 6:
+        raise TraceParseError(f"expected at least 6 CSV fields, got {len(fields)}: {line!r}")
+    timestamp_raw, _host, _disk, op_raw, offset_raw, size_raw = fields[:6]
+    op_name = op_raw.strip().lower()
+    if op_name in ("read", "r"):
+        op = READ
+    elif op_name in ("write", "w"):
+        op = WRITE
+    else:
+        raise TraceParseError(f"unknown operation {op_raw!r} in line {line!r}")
+    try:
+        offset = int(offset_raw)
+        size = int(size_raw)
+        timestamp = float(timestamp_raw) / _TICKS_PER_US if timestamp_raw else 0.0
+    except ValueError as exc:
+        raise TraceParseError(f"non-numeric field in line {line!r}") from exc
+    if size <= 0:
+        size = page_size
+    lpa = offset // page_size
+    npages = max(1, -(-size // page_size))
+    return IORequest(op, lpa, npages, timestamp_us=timestamp)
+
+
+def parse_msr_trace(
+    source: Union[str, Path, io.TextIOBase, Iterable[str]],
+    name: str = "msr-trace",
+    page_size: int = 4096,
+    max_requests: Optional[int] = None,
+) -> Trace:
+    """Parse an MSR-format CSV trace from a path, file object or line iterable."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return parse_msr_trace(handle, name=name, page_size=page_size, max_requests=max_requests)
+
+    requests: List[IORequest] = []
+    for line in source:
+        request = parse_msr_line(line, page_size)
+        if request is None:
+            continue
+        requests.append(request)
+        if max_requests is not None and len(requests) >= max_requests:
+            break
+    return Trace(name, requests)
+
+
+def write_msr_trace(trace: Trace, destination: Union[str, Path, io.TextIOBase], page_size: int = 4096) -> None:
+    """Write a trace back out in MSR CSV format (inverse of the parser)."""
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="utf-8", newline="") as handle:
+            write_msr_trace(trace, handle, page_size=page_size)
+            return
+    writer = csv.writer(destination)
+    for request in trace:
+        writer.writerow(
+            [
+                int(request.timestamp_us * _TICKS_PER_US),
+                "host0",
+                0,
+                "Read" if request.is_read else "Write",
+                request.lpa * page_size,
+                request.npages * page_size,
+                0,
+            ]
+        )

@@ -1,0 +1,158 @@
+"""Block-trace representation used by the workload generators and the parser.
+
+A trace is an ordered list of page-granular I/O requests.  The SSD model
+consumes ``(op, lpa, npages)`` tuples; :class:`Trace` adds the metadata the
+experiment harness needs (name, footprint, read/write mix) and convenience
+constructors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+READ = "R"
+WRITE = "W"
+
+
+@dataclass(frozen=True)
+class IORequest:
+    """One host request at flash-page granularity."""
+
+    op: str
+    lpa: int
+    npages: int = 1
+    timestamp_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.op not in (READ, WRITE):
+            raise ValueError(f"op must be 'R' or 'W', got {self.op!r}")
+        if self.lpa < 0:
+            raise ValueError("lpa must be non-negative")
+        if self.npages <= 0:
+            raise ValueError("npages must be positive")
+
+    @property
+    def is_read(self) -> bool:
+        return self.op == READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.op == WRITE
+
+    def pages(self) -> Iterator[int]:
+        """The LPAs this request touches."""
+        return iter(range(self.lpa, self.lpa + self.npages))
+
+    def as_tuple(self) -> Tuple[str, int, int]:
+        return (self.op, self.lpa, self.npages)
+
+
+class Trace:
+    """An ordered sequence of I/O requests with summary statistics."""
+
+    def __init__(self, name: str, requests: Sequence[IORequest]) -> None:
+        self.name = name
+        self._requests: List[IORequest] = list(requests)
+
+    # ------------------------------------------------------------------ #
+    # Container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def __iter__(self) -> Iterator[IORequest]:
+        return iter(self._requests)
+
+    def __getitem__(self, index: int) -> IORequest:
+        return self._requests[index]
+
+    def requests(self) -> List[IORequest]:
+        return list(self._requests)
+
+    def as_tuples(self) -> Iterator[Tuple[str, int, int]]:
+        """The format consumed by :meth:`repro.ssd.ssd.SimulatedSSD.run`."""
+        for request in self._requests:
+            yield request.as_tuple()
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_tuples(
+        cls, name: str, tuples: Iterable[Tuple[str, int, int]]
+    ) -> "Trace":
+        return cls(name, [IORequest(op, lpa, npages) for op, lpa, npages in tuples])
+
+    def truncated(self, max_requests: int) -> "Trace":
+        """A copy limited to the first ``max_requests`` requests."""
+        return Trace(self.name, self._requests[:max_requests])
+
+    def scaled_to(self, logical_pages: int) -> "Trace":
+        """Clamp every request inside a device of ``logical_pages`` pages."""
+        clamped: List[IORequest] = []
+        for request in self._requests:
+            lpa = request.lpa % logical_pages
+            npages = min(request.npages, logical_pages - lpa)
+            clamped.append(
+                IORequest(request.op, lpa, max(1, npages), request.timestamp_us)
+            )
+        return Trace(self.name, clamped)
+
+    def concatenated(self, other: "Trace", name: Optional[str] = None) -> "Trace":
+        return Trace(name or f"{self.name}+{other.name}", self._requests + other._requests)
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def read_requests(self) -> int:
+        return sum(1 for r in self._requests if r.is_read)
+
+    @property
+    def write_requests(self) -> int:
+        return sum(1 for r in self._requests if r.is_write)
+
+    @property
+    def read_pages(self) -> int:
+        return sum(r.npages for r in self._requests if r.is_read)
+
+    @property
+    def write_pages(self) -> int:
+        return sum(r.npages for r in self._requests if r.is_write)
+
+    @property
+    def read_ratio(self) -> float:
+        total = len(self._requests)
+        return self.read_requests / total if total else 0.0
+
+    def footprint_pages(self) -> int:
+        """Number of distinct LPAs touched by the trace."""
+        touched = set()
+        for request in self._requests:
+            touched.update(range(request.lpa, request.lpa + request.npages))
+        return len(touched)
+
+    def written_footprint_pages(self) -> int:
+        """Number of distinct LPAs written by the trace."""
+        touched = set()
+        for request in self._requests:
+            if request.is_write:
+                touched.update(range(request.lpa, request.lpa + request.npages))
+        return len(touched)
+
+    def max_lpa(self) -> int:
+        return max((r.lpa + r.npages - 1 for r in self._requests), default=0)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "requests": float(len(self)),
+            "read_ratio": self.read_ratio,
+            "read_pages": float(self.read_pages),
+            "write_pages": float(self.write_pages),
+            "footprint_pages": float(self.footprint_pages()),
+            "max_lpa": float(self.max_lpa()),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Trace({self.name!r}, requests={len(self)})"

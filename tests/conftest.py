@@ -1,0 +1,42 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import DRAMBudget, LeaFTLConfig, SSDConfig
+from repro.core.leaftl import LeaFTL
+from repro.ssd.ssd import SimulatedSSD
+
+
+@pytest.fixture
+def tiny_config() -> SSDConfig:
+    """A small device that keeps unit tests fast."""
+    return SSDConfig.tiny()
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(1234)
+
+
+def make_ssd(
+    ftl=None,
+    config: SSDConfig | None = None,
+    gamma: int = 0,
+    dram_bytes: int | None = None,
+    **ssd_kwargs,
+) -> SimulatedSSD:
+    """Build a small SSD with the given FTL (LeaFTL by default)."""
+    config = config or SSDConfig.tiny()
+    if ftl is None:
+        ftl = LeaFTL(LeaFTLConfig(gamma=gamma, compaction_interval_writes=10_000))
+    budget = DRAMBudget(dram_bytes=dram_bytes or config.dram_size)
+    return SimulatedSSD(config=config, ftl=ftl, dram_budget=budget, **ssd_kwargs)
+
+
+@pytest.fixture
+def tiny_leaftl_ssd() -> SimulatedSSD:
+    return make_ssd()

@@ -1,0 +1,149 @@
+"""Tests for the analysis helpers and the statistics recorders."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.latency import (
+    histogram_cdf,
+    latency_cdf,
+    normalize,
+    percentile,
+    speedup,
+    value_at_cdf,
+)
+from repro.analysis.memory import (
+    format_bytes,
+    geometric_mean,
+    normalized_size,
+    reduction_factor,
+    reduction_table,
+)
+from repro.analysis.report import render_series, render_table
+from repro.ssd.stats import LatencyRecorder, SSDStats
+
+
+class TestLatencyHelpers:
+    def test_percentile(self):
+        samples = list(range(1, 101))
+        assert percentile(samples, 0) == 1
+        assert percentile(samples, 100) == 100
+        assert percentile(samples, 50) == pytest.approx(50, abs=1)
+
+    def test_percentile_empty(self):
+        assert percentile([], 99) == 0.0
+
+    def test_latency_cdf_points(self):
+        cdf = latency_cdf([1, 2, 3, 4, 5], points=(0, 99))
+        assert cdf[0] == 1
+        assert cdf[99] == 5
+
+    def test_normalize(self):
+        normalized = normalize({"DFTL": 10.0, "LeaFTL": 5.0}, "DFTL")
+        assert normalized["DFTL"] == 1.0
+        assert normalized["LeaFTL"] == 0.5
+
+    def test_normalize_missing_baseline(self):
+        with pytest.raises(KeyError):
+            normalize({"A": 1.0}, "B")
+
+    def test_speedup(self):
+        assert speedup({"DFTL": 10.0, "LeaFTL": 5.0}, over="DFTL", of="LeaFTL") == 2.0
+
+    def test_histogram_cdf(self):
+        cdf = dict(histogram_cdf({1: 90, 2: 9, 10: 1}))
+        assert cdf[1] == pytest.approx(0.9)
+        assert cdf[10] == pytest.approx(1.0)
+        assert value_at_cdf({1: 90, 2: 9, 10: 1}, 0.99) == 2
+
+
+class TestMemoryHelpers:
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512.0 B"
+        assert format_bytes(2048) == "2.0 KB"
+        assert "MB" in format_bytes(5 * 1024 * 1024)
+
+    def test_reduction_factor(self):
+        assert reduction_factor(100, 25) == 4.0
+        assert reduction_factor(100, 0) == float("inf")
+
+    def test_reduction_table(self):
+        table = reduction_table({"wl": {"DFTL": 100, "LeaFTL": 20}}, baseline="DFTL")
+        assert table["wl"]["LeaFTL"] == 5.0
+
+    def test_normalized_size(self):
+        sizes = normalized_size({"g0": 100.0, "g16": 60.0}, "g0")
+        assert sizes["g16"] == pytest.approx(0.6)
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100), min_size=1, max_size=20))
+    @settings(max_examples=50)
+    def test_geometric_mean_bounded_by_min_max(self, values):
+        gm = geometric_mean(values)
+        assert min(values) <= gm * 1.0001
+        assert gm <= max(values) * 1.0001
+
+
+class TestReportRendering:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "b"], [[1, 2.5], ["xyz", 0.001]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "b" in lines[2]
+        assert len(lines) == 6
+
+    def test_render_series(self):
+        text = render_series("S", {"row": {"c1": 1.0, "c2": 2.0}})
+        assert "row" in text and "c1" in text
+
+
+class TestLatencyRecorder:
+    def test_mean_and_percentiles(self):
+        recorder = LatencyRecorder()
+        for value in range(1, 1001):
+            recorder.record(float(value))
+        assert recorder.count == 1000
+        assert recorder.mean_us == pytest.approx(500.5)
+        assert recorder.percentile(99) >= 950
+        assert recorder.max_us == 1000
+        assert recorder.min_us == 1
+
+    def test_reservoir_stays_bounded(self):
+        recorder = LatencyRecorder(reservoir_size=100)
+        for value in range(10_000):
+            recorder.record(float(value))
+        assert len(recorder.samples()) < 250
+        assert recorder.count == 10_000
+
+    def test_empty_recorder(self):
+        recorder = LatencyRecorder()
+        assert recorder.mean_us == 0.0
+        assert recorder.percentile(50) == 0.0
+
+
+class TestSSDStats:
+    def test_write_amplification(self):
+        stats = SSDStats()
+        stats.host_write_pages = 100
+        stats.data_page_writes = 100
+        stats.gc_page_writes = 30
+        stats.translation_page_writes = 10
+        assert stats.write_amplification == pytest.approx(1.4)
+
+    def test_misprediction_ratio(self):
+        stats = SSDStats()
+        stats.translation_lookups = 200
+        stats.mispredictions = 20
+        assert stats.misprediction_ratio == pytest.approx(0.1)
+
+    def test_cache_hit_ratio(self):
+        stats = SSDStats()
+        stats.cache_hits = 30
+        stats.buffer_hits = 20
+        stats.flash_reads_for_host = 50
+        assert stats.cache_hit_ratio == pytest.approx(0.5)
+
+    def test_summary_keys(self):
+        summary = SSDStats().summary()
+        for key in ("mean_latency_us", "write_amplification", "misprediction_ratio"):
+            assert key in summary

@@ -1,0 +1,116 @@
+"""Tests for the LRU data cache and the controller write buffer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ssd.cache import LRUDataCache
+from repro.ssd.write_buffer import WriteBuffer
+
+
+class TestLRUDataCache:
+    def test_hit_and_miss_accounting(self):
+        cache = LRUDataCache(capacity_pages=2)
+        assert not cache.lookup(1)
+        cache.insert(1)
+        assert cache.lookup(1)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_ratio == pytest.approx(0.5)
+
+    def test_lru_eviction_order(self):
+        cache = LRUDataCache(capacity_pages=2)
+        cache.insert(1)
+        cache.insert(2)
+        cache.lookup(1)          # 1 becomes most recently used
+        evicted = cache.insert(3)
+        assert evicted == [(2, False)]
+        assert 1 in cache and 3 in cache and 2 not in cache
+
+    def test_dirty_flag_upgrade_and_clean(self):
+        cache = LRUDataCache(capacity_pages=4)
+        cache.insert(1, dirty=False)
+        cache.insert(1, dirty=True)
+        cache.resize(0)  # evict everything
+        cache.resize(4)
+        cache.insert(2, dirty=True)
+        cache.mark_clean(2)
+        evicted = cache.resize(0)
+        assert evicted == [(2, False)]
+
+    def test_resize_shrink_evicts_lru_first(self):
+        cache = LRUDataCache(capacity_pages=4)
+        for lpa in range(4):
+            cache.insert(lpa)
+        evicted = cache.resize(2)
+        assert [lpa for lpa, _ in evicted] == [0, 1]
+        assert len(cache) == 2
+
+    def test_zero_capacity_never_stores(self):
+        cache = LRUDataCache(capacity_pages=0)
+        cache.insert(1)
+        assert not cache.lookup(1)
+        assert len(cache) == 0
+
+    def test_invalidate(self):
+        cache = LRUDataCache(capacity_pages=2)
+        cache.insert(7)
+        assert cache.invalidate(7)
+        assert not cache.invalidate(7)
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=300), st.integers(min_value=1, max_value=16))
+    @settings(max_examples=50, deadline=None)
+    def test_capacity_never_exceeded(self, accesses, capacity):
+        cache = LRUDataCache(capacity_pages=capacity)
+        for lpa in accesses:
+            if not cache.lookup(lpa):
+                cache.insert(lpa)
+            assert len(cache) <= capacity
+
+
+class TestWriteBuffer:
+    def test_add_and_drain_sorted(self):
+        buffer = WriteBuffer(capacity_pages=8)
+        for lpa in (78, 32, 33, 76, 115, 34, 38):
+            buffer.add(lpa)
+        assert buffer.drain() == [32, 33, 34, 38, 76, 78, 115]
+        assert len(buffer) == 0
+
+    def test_unsorted_drain_preserves_arrival_order(self):
+        buffer = WriteBuffer(capacity_pages=8, sort_on_flush=False)
+        order = [78, 32, 33, 76, 115, 34, 38]
+        for lpa in order:
+            buffer.add(lpa)
+        assert buffer.drain() == order
+
+    def test_overwrite_absorbed(self):
+        buffer = WriteBuffer(capacity_pages=4)
+        buffer.add(5)
+        buffer.add(5)
+        assert len(buffer) == 1
+        assert buffer.stats.overwrites == 1
+
+    def test_is_full(self):
+        buffer = WriteBuffer(capacity_pages=2)
+        buffer.add(1)
+        assert not buffer.is_full
+        buffer.add(2)
+        assert buffer.is_full
+
+    def test_partial_drain(self):
+        buffer = WriteBuffer(capacity_pages=16)
+        for lpa in range(10):
+            buffer.add(lpa)
+        first = buffer.drain(max_pages=4)
+        assert first == [0, 1, 2, 3]
+        assert len(buffer) == 6
+
+    def test_membership(self):
+        buffer = WriteBuffer(capacity_pages=4)
+        buffer.add(9)
+        assert 9 in buffer and 1 not in buffer
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            WriteBuffer(capacity_pages=0)

@@ -1,0 +1,99 @@
+"""Tests for the Conflict Resolution Buffer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.crb import ConflictResolutionBuffer
+from repro.core.segment import Segment
+
+
+def approx_segment(start, length, ppa=0):
+    return Segment.from_anchor(
+        group_base=0, start_lpa=start, length=length, raw_slope=0.5,
+        anchor_lpa=start, anchor_ppa=ppa, accurate=False,
+    )
+
+
+class TestCRBBasics:
+    def test_insert_and_owner(self):
+        crb = ConflictResolutionBuffer()
+        seg = approx_segment(100, 6)
+        crb.insert_segment(seg, [100, 101, 103, 104, 106])
+        assert crb.owner(103) is seg
+        assert crb.owner(105) is None
+        assert crb.lpas_of(seg) == [100, 101, 103, 104, 106]
+
+    def test_size_accounting_matches_paper_model(self):
+        crb = ConflictResolutionBuffer()
+        seg_a = approx_segment(100, 6)
+        seg_b = approx_segment(102, 6)
+        crb.insert_segment(seg_a, [100, 101, 103, 104, 106])
+        crb.insert_segment(seg_b, [102, 105, 107, 108])
+        # One byte per stored LPA plus one null separator per segment.
+        assert crb.size_bytes() == 9 + 2
+        assert len(crb) == 9
+        assert crb.segment_count() == 2
+
+    def test_newer_segment_steals_lpas(self):
+        """Figure 9: LPA 105 must resolve to the newest covering segment."""
+        crb = ConflictResolutionBuffer()
+        older = approx_segment(100, 6)
+        newer = approx_segment(102, 6)
+        crb.insert_segment(older, [100, 101, 103, 104, 105, 106])
+        crb.insert_segment(newer, [102, 105, 107, 108])
+        assert crb.owner(105) is newer
+        assert 105 not in crb.lpas_of(older)
+        # No LPA is ever stored twice.
+        all_lpas = crb.lpas_of(older) + crb.lpas_of(newer)
+        assert len(all_lpas) == len(set(all_lpas))
+
+    def test_remove_segment(self):
+        crb = ConflictResolutionBuffer()
+        seg = approx_segment(10, 5)
+        crb.insert_segment(seg, [10, 12, 15])
+        crb.remove_segment(seg)
+        assert crb.owner(12) is None
+        assert crb.size_bytes() == 0
+
+    def test_retain_lpas_drops_outdated_entries(self):
+        crb = ConflictResolutionBuffer()
+        seg = approx_segment(10, 10)
+        crb.insert_segment(seg, [10, 12, 15, 18, 20])
+        crb.retain_lpas(seg, [12, 18])
+        assert crb.lpas_of(seg) == [12, 18]
+        assert crb.owner(10) is None
+        assert crb.owner(12) is seg
+
+    def test_retain_all_outdated_removes_entry(self):
+        crb = ConflictResolutionBuffer()
+        seg = approx_segment(10, 4)
+        crb.insert_segment(seg, [10, 11])
+        crb.retain_lpas(seg, [])
+        assert not crb.contains_segment(seg)
+        assert crb.size_bytes() == 0
+
+    def test_same_start_lpa_segments_coexist(self):
+        """Two approximate segments may start at the same LPA (identity keyed)."""
+        crb = ConflictResolutionBuffer()
+        older = approx_segment(100, 8)
+        newer = approx_segment(100, 8, ppa=50)
+        crb.insert_segment(older, [100, 104, 108])
+        crb.insert_segment(newer, [100, 102])
+        assert crb.owner(100) is newer
+        assert crb.owner(104) is older
+        assert crb.lpas_of(older) == [104, 108]
+
+    def test_empty_insert_is_noop(self):
+        crb = ConflictResolutionBuffer()
+        seg = approx_segment(0, 3)
+        crb.insert_segment(seg, [])
+        assert crb.size_bytes() == 0
+        assert not crb.contains_segment(seg)
+
+    def test_clear(self):
+        crb = ConflictResolutionBuffer()
+        crb.insert_segment(approx_segment(0, 3), [0, 2])
+        crb.clear()
+        assert crb.size_bytes() == 0
+        assert crb.owner(0) is None

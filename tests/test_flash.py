@@ -1,0 +1,180 @@
+"""Tests for the flash substrate: geometry, array state machine, allocator, OOB."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SSDConfig
+from repro.flash.allocator import BlockAllocator, OutOfSpaceError
+from repro.flash.flash_array import FlashArray, FlashError, PageState
+from repro.flash.geometry import FlashGeometry
+from repro.flash.oob import (
+    OOBArea,
+    max_neighbor_entries,
+    required_oob_bytes,
+    validate_gamma_fits_oob,
+)
+
+
+@pytest.fixture
+def config():
+    return SSDConfig.tiny()
+
+
+@pytest.fixture
+def flash(config):
+    return FlashArray(config)
+
+
+class TestGeometry:
+    def test_round_trip(self, config):
+        geo = FlashGeometry(config)
+        for ppa in (0, 1, 255, 256, geo.total_pages - 1):
+            addr = geo.decompose(ppa)
+            block_in_channel = addr.block % geo.blocks_per_channel
+            assert geo.compose(addr.channel, block_in_channel, addr.page) == ppa
+
+    @given(st.integers(min_value=0))
+    @settings(max_examples=100)
+    def test_decompose_within_bounds(self, ppa_seed):
+        geo = FlashGeometry(SSDConfig.tiny())
+        ppa = ppa_seed % geo.total_pages
+        addr = geo.decompose(ppa)
+        assert 0 <= addr.channel < geo.channels
+        assert 0 <= addr.block < geo.total_blocks
+        assert 0 <= addr.page < geo.pages_per_block
+
+    def test_block_pages_are_contiguous(self, config):
+        geo = FlashGeometry(config)
+        ppas = list(geo.ppas_of_block(3))
+        assert len(ppas) == geo.pages_per_block
+        assert ppas == list(range(ppas[0], ppas[0] + geo.pages_per_block))
+
+    def test_out_of_range_rejected(self, config):
+        geo = FlashGeometry(config)
+        with pytest.raises(ValueError):
+            geo.decompose(geo.total_pages)
+        with pytest.raises(ValueError):
+            geo.first_ppa_of_block(geo.total_blocks)
+
+
+class TestFlashArray:
+    def test_program_then_read(self, flash):
+        finish = flash.program_page(0, lpa=42, now_us=0.0)
+        assert finish == pytest.approx(flash.config.write_latency_us / flash.config.dies_per_channel)
+        assert flash.page_state(0) is PageState.VALID
+        assert flash.lpa_of(0) == 42
+        flash.read_page(0)
+        assert flash.counters.page_reads == 1
+
+    def test_read_of_unwritten_page_rejected(self, flash):
+        with pytest.raises(FlashError):
+            flash.read_page(0)
+
+    def test_out_of_place_constraint(self, flash):
+        flash.program_page(0, lpa=1)
+        with pytest.raises(FlashError):
+            flash.program_page(0, lpa=2)
+
+    def test_in_order_programming_within_block(self, flash):
+        flash.program_page(0, lpa=1)
+        with pytest.raises(FlashError):
+            flash.program_page(2, lpa=3)  # skips page offset 1
+
+    def test_invalidate_and_erase(self, flash):
+        block_pages = flash.geometry.pages_per_block
+        for offset in range(4):
+            flash.program_page(offset, lpa=offset)
+        assert flash.valid_page_count(0) == 4
+        with pytest.raises(FlashError):
+            flash.erase_block(0)  # still has valid pages
+        for offset in range(4):
+            flash.invalidate_page(offset)
+        flash.erase_block(0)
+        assert flash.erase_count(0) == 1
+        assert flash.page_state(0) is PageState.FREE
+        # After erase the block can be programmed again from offset 0.
+        flash.program_page(0, lpa=9)
+
+    def test_double_invalidate_rejected(self, flash):
+        flash.program_page(0, lpa=1)
+        flash.invalidate_page(0)
+        with pytest.raises(FlashError):
+            flash.invalidate_page(0)
+
+    def test_oob_round_trip(self, flash):
+        oob = OOBArea(lpa=5, neighbor_lpas=[None, 5, 6])
+        flash.program_page(0, lpa=5, oob=oob)
+        stored = flash.oob_of(0)
+        assert stored.lpa == 5
+        assert stored.neighbor_lpas == [None, 5, 6]
+
+    def test_channel_occupancy_serializes_reads(self, flash):
+        flash.program_page(0, lpa=0)
+        first = flash.read_page(0, now_us=0.0)
+        second = flash.read_page(0, now_us=0.0)
+        assert second > first  # the same channel cannot overlap two reads
+
+    def test_valid_ppas_of_block(self, flash):
+        for offset in range(6):
+            flash.program_page(offset, lpa=offset)
+        flash.invalidate_page(2)
+        assert flash.valid_ppas_of_block(0) == [0, 1, 3, 4, 5]
+
+
+class TestAllocator:
+    def test_allocation_rotates_channels(self, flash):
+        allocator = BlockAllocator(flash)
+        channels = {
+            flash.geometry.block_to_channel(allocator.allocate_block())
+            for _ in range(flash.config.channels)
+        }
+        assert len(channels) == flash.config.channels
+
+    def test_gc_candidates_exclude_active_and_free(self, flash):
+        allocator = BlockAllocator(flash)
+        block = allocator.allocate_block()
+        first_ppa = flash.geometry.first_ppa_of_block(block)
+        flash.program_page(first_ppa, lpa=0)
+        assert block not in allocator.gc_candidates()  # still active
+        allocator.seal_block(block)
+        assert block in allocator.gc_candidates()
+
+    def test_release_requires_erased_block(self, flash):
+        allocator = BlockAllocator(flash)
+        block = allocator.allocate_block()
+        first_ppa = flash.geometry.first_ppa_of_block(block)
+        flash.program_page(first_ppa, lpa=0)
+        allocator.seal_block(block)
+        with pytest.raises(ValueError):
+            allocator.release_block(block)
+
+    def test_exhaustion_raises(self, flash):
+        allocator = BlockAllocator(flash)
+        for _ in range(allocator.total_blocks):
+            allocator.allocate_block()
+        with pytest.raises(OutOfSpaceError):
+            allocator.allocate_block()
+
+    def test_free_ratio_accounting(self, flash):
+        allocator = BlockAllocator(flash)
+        assert allocator.free_ratio() == pytest.approx(1.0)
+        allocator.allocate_block()
+        assert allocator.free_ratio() < 1.0
+
+
+class TestOOBHelpers:
+    def test_required_bytes(self):
+        assert required_oob_bytes(0) == 4
+        assert required_oob_bytes(4) == 32
+        assert required_oob_bytes(16) == 128
+
+    def test_max_entries(self):
+        assert max_neighbor_entries(128) == 32
+
+    def test_gamma_must_fit(self):
+        validate_gamma_fits_oob(4, 128)
+        validate_gamma_fits_oob(16, 128)
+        with pytest.raises(ValueError):
+            validate_gamma_fits_oob(16, 64)

@@ -1,0 +1,96 @@
+"""Tests for the GC and wear-leveling policies in isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SSDConfig
+from repro.flash.allocator import BlockAllocator
+from repro.flash.flash_array import FlashArray
+from repro.ssd.gc import GCPolicyConfig, GreedyGCPolicy
+from repro.ssd.wear_leveling import WearLeveler, WearLevelingConfig
+
+
+@pytest.fixture
+def flash():
+    return FlashArray(SSDConfig.tiny())
+
+
+class TestGCPolicy:
+    def test_thresholds_validated(self):
+        with pytest.raises(ValueError):
+            GCPolicyConfig(threshold=0.5, restore=0.4)
+        with pytest.raises(ValueError):
+            GCPolicyConfig(max_victims_per_invocation=0)
+
+    def test_should_collect_tracks_free_ratio(self, flash):
+        allocator = BlockAllocator(flash)
+        policy = GreedyGCPolicy(GCPolicyConfig(threshold=0.5, restore=0.6))
+        assert not policy.should_collect(allocator)
+        total = allocator.total_blocks
+        for _ in range(int(total * 0.6)):
+            allocator.allocate_block()
+        assert policy.should_collect(allocator)
+        assert not policy.should_stop(allocator)
+
+    def test_greedy_victim_order(self, flash):
+        allocator = BlockAllocator(flash)
+        policy = GreedyGCPolicy()
+        blocks = [allocator.allocate_block() for _ in range(3)]
+        valid_counts = (5, 1, 3)
+        for block, valid in zip(blocks, valid_counts):
+            base = flash.geometry.first_ppa_of_block(block)
+            for offset in range(valid + 2):
+                flash.program_page(base + offset, lpa=offset)
+            for offset in range(2):  # invalidate two pages in each block
+                flash.invalidate_page(base + offset)
+            allocator.seal_block(block)
+        victims = policy.select_victims(flash, allocator)
+        ordered_valid = [flash.valid_page_count(b) for b in victims]
+        assert ordered_valid == sorted(ordered_valid)
+
+    def test_victim_limit(self, flash):
+        allocator = BlockAllocator(flash)
+        policy = GreedyGCPolicy(GCPolicyConfig(max_victims_per_invocation=2))
+        for _ in range(5):
+            block = allocator.allocate_block()
+            base = flash.geometry.first_ppa_of_block(block)
+            flash.program_page(base, lpa=0)
+            allocator.seal_block(block)
+        assert len(policy.select_victims(flash, allocator)) == 2
+
+
+class TestWearLeveler:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            WearLevelingConfig(imbalance_threshold=0)
+
+    def test_due_throttling(self, flash):
+        leveler = WearLeveler(WearLevelingConfig(check_interval_erases=4))
+        assert not leveler.due(flash)
+        flash.counters.block_erases = 10
+        assert leveler.due(flash)
+        # Immediately after a check it is throttled again.
+        assert not leveler.due(flash)
+
+    def test_imbalance_detection(self, flash):
+        leveler = WearLeveler(WearLevelingConfig(imbalance_threshold=2))
+        assert not leveler.imbalanced(flash)
+        # Erase one block many times to create imbalance.
+        block = 0
+        for _ in range(4):
+            flash.erase_block(block)
+        assert leveler.imbalanced(flash)
+
+    def test_cold_block_selection_prefers_low_erase_counts(self, flash):
+        allocator = BlockAllocator(flash)
+        leveler = WearLeveler()
+        blocks = [allocator.allocate_block() for _ in range(3)]
+        for index, block in enumerate(blocks):
+            base = flash.geometry.first_ppa_of_block(block)
+            flash.program_page(base, lpa=index)
+            allocator.seal_block(block)
+        # Age one of the *other* free blocks so counts differ.
+        cold = leveler.select_cold_blocks(flash, allocator)
+        assert cold
+        assert flash.valid_page_count(cold[0]) > 0

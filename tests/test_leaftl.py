@@ -1,0 +1,96 @@
+"""Tests for the LeaFTL translation layer (outside the full SSD model)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import LeaFTLConfig
+from repro.core.leaftl import LeaFTL
+from repro.flash.oob import OOBArea
+
+
+class TestLeaFTLTranslation:
+    def test_basic_update_and_translate(self):
+        ftl = LeaFTL(LeaFTLConfig(gamma=0))
+        ftl.update_batch([(lpa, 200 + lpa) for lpa in range(64)])
+        for lpa in range(64):
+            assert ftl.translate(lpa).ppa == 200 + lpa
+        assert ftl.exists(10)
+        assert not ftl.exists(1000)
+
+    def test_gamma_zero_is_always_exact(self):
+        rng = random.Random(1)
+        ftl = LeaFTL(LeaFTLConfig(gamma=0))
+        truth = {}
+        ppa = 0
+        for _ in range(50):
+            lpas = sorted(set(rng.randrange(5000) for _ in range(rng.randint(1, 80))))
+            batch = []
+            for lpa in lpas:
+                batch.append((lpa, ppa))
+                truth[lpa] = ppa
+                ppa += 1
+            ftl.update_batch(batch)
+        for lpa, expected in truth.items():
+            assert ftl.translate(lpa).ppa == expected
+
+    def test_memory_smaller_than_page_level_for_sequential(self):
+        ftl = LeaFTL(LeaFTLConfig(gamma=0))
+        ftl.update_batch([(lpa, lpa) for lpa in range(4096)])
+        assert ftl.resident_bytes() < 4096 * 8 / 10
+
+    def test_oob_window_matches_gamma(self):
+        assert LeaFTL(LeaFTLConfig(gamma=4)).oob_window() == 4
+        assert LeaFTL(LeaFTLConfig(gamma=0)).oob_window() == 0
+
+    def test_translate_levels_histogram(self):
+        ftl = LeaFTL(LeaFTLConfig(gamma=0))
+        ftl.update_batch([(lpa, lpa) for lpa in range(64)])
+        ftl.update_batch([(lpa, 100 + lpa) for lpa in range(10, 20)])
+        ftl.translate(5)
+        ftl.translate(40)
+        assert sum(ftl.lea_stats.levels_histogram.values()) == 2
+
+
+class TestMispredictionResolution:
+    def test_resolve_through_oob(self):
+        ftl = LeaFTL(LeaFTLConfig(gamma=4))
+        # The OOB of the (mispredicted) page holds the reverse mappings of
+        # PPAs [predicted - 4, predicted + 4]; LPA 77 lives two slots left.
+        oob = OOBArea(lpa=50, neighbor_lpas=[70, 71, 77, 49, 50, 51, 52, 53, 54])
+        correct = ftl.resolve_misprediction(lpa=77, predicted_ppa=100, oob=oob)
+        assert correct == 98
+        assert ftl.lea_stats.mispredictions == 1
+        assert ftl.lea_stats.oob_corrections == 1
+
+    def test_resolution_failure_reported(self):
+        ftl = LeaFTL(LeaFTLConfig(gamma=2))
+        oob = OOBArea(lpa=1, neighbor_lpas=[None, None, 1, 2, 3])
+        assert ftl.resolve_misprediction(lpa=99, predicted_ppa=10, oob=oob) is None
+        assert ftl.lea_stats.oob_correction_failures == 1
+
+
+class TestCompactionPolicy:
+    def test_compaction_triggered_by_interval(self):
+        ftl = LeaFTL(LeaFTLConfig(gamma=0, compaction_interval_writes=100))
+        for round_ in range(5):
+            ftl.update_batch([(lpa, round_ * 1000 + lpa) for lpa in range(50)])
+        assert ftl.lea_stats.compactions >= 2
+
+    def test_manual_maintenance(self):
+        ftl = LeaFTL(LeaFTLConfig(gamma=0))
+        ftl.update_batch([(lpa, lpa) for lpa in range(64)])
+        ftl.update_batch([(lpa, 500 + lpa) for lpa in range(64)])
+        ftl.maintenance()
+        assert ftl.table.segment_count() == 1
+        assert ftl.translate(5).ppa == 505
+
+    def test_describe_reports_segment_counts(self):
+        ftl = LeaFTL(LeaFTLConfig(gamma=4))
+        ftl.update_batch([(lpa, lpa) for lpa in range(64)])
+        info = ftl.describe()
+        assert info["segments"] >= 1
+        assert info["gamma"] == 4
+        assert "crb_bytes" in info

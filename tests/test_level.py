@@ -1,0 +1,87 @@
+"""Tests for one level of the log-structured mapping table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.level import Level
+from repro.core.segment import Segment
+
+
+def seg(start, length):
+    return Segment(
+        group_base=0, start_lpa=start, length=length, slope=1.0,
+        intercept=0.0, accurate=True,
+    )
+
+
+class TestLevel:
+    def test_insert_keeps_sorted_order(self):
+        level = Level()
+        for start in (50, 10, 30):
+            level.insert(seg(start, 5))
+        starts = [s.start_lpa for s in level]
+        assert starts == sorted(starts)
+        level.validate_sorted_non_overlapping()
+
+    def test_find_covering(self):
+        level = Level()
+        a, b = seg(0, 9), seg(20, 9)
+        level.insert(a)
+        level.insert(b)
+        assert level.find_covering(5) is a
+        assert level.find_covering(25) is b
+        assert level.find_covering(15) is None
+        assert level.find_covering(100) is None
+
+    def test_overlapping_query(self):
+        level = Level()
+        a, b, c = seg(0, 9), seg(20, 9), seg(40, 9)
+        for s in (a, b, c):
+            level.insert(s)
+        assert level.overlapping(5, 25) == [a, b]
+        assert level.overlapping(30, 35) == []
+        assert level.overlapping(0, 100) == [a, b, c]
+
+    def test_overlapping_finds_predecessor_of_inserted_segment(self):
+        """The predecessor that spans into a newly inserted segment is found."""
+        level = Level()
+        old = seg(0, 63)
+        level.insert(old)
+        new = seg(16, 15)
+        level.insert(new)
+        found = level.overlapping(new.start_lpa, new.end_lpa)
+        assert old in found and new in found
+
+    def test_remove_by_identity(self):
+        level = Level()
+        a = seg(0, 5)
+        duplicate_range = seg(0, 5)
+        level.insert(a)
+        level.insert(duplicate_range)
+        level.remove(a)
+        assert len(level) == 1
+        assert a not in level
+        assert duplicate_range in level
+
+    def test_remove_missing_raises(self):
+        level = Level()
+        with pytest.raises(ValueError):
+            level.remove(seg(0, 1))
+
+    def test_reposition_after_start_change(self):
+        level = Level()
+        a, b = seg(0, 30), seg(40, 10)
+        level.insert(a)
+        level.insert(b)
+        a.start_lpa = 60  # merge trimmed the victim's range
+        a.length = 5
+        level.reposition(a)
+        assert [s.start_lpa for s in level] == [40, 60]
+        assert level.find_covering(62) is a
+
+    def test_is_empty(self):
+        level = Level()
+        assert level.is_empty
+        level.insert(seg(0, 1))
+        assert not level.is_empty

@@ -1,0 +1,188 @@
+"""Tests for the per-group log structure and the full mapping table.
+
+The central invariant, checked both with targeted cases (the paper's
+Figure 13 timeline) and property-based random histories: after any sequence
+of batched updates, looking up any LPA returns a PPA within ``gamma`` of the
+most recently recorded mapping, and with ``gamma = 0`` it is exact.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import LeaFTLConfig
+from repro.core.mapping_table import LogStructuredMappingTable
+
+
+def make_table(gamma=0):
+    return LogStructuredMappingTable(LeaFTLConfig(gamma=gamma))
+
+
+class TestBasicUpdatesAndLookups:
+    def test_lookup_unmapped(self):
+        table = make_table()
+        assert not table.lookup(123).found
+        assert not table.exists(123)
+
+    def test_sequential_batch(self):
+        table = make_table()
+        table.update([(lpa, 5000 + lpa) for lpa in range(64)])
+        for lpa in range(64):
+            assert table.lookup(lpa).ppa == 5000 + lpa
+        assert table.segment_count() == 1
+        assert table.memory_bytes() < 64 * 8  # beats the page-level table
+
+    def test_overwrite_returns_latest(self):
+        table = make_table()
+        table.update([(lpa, 100 + lpa) for lpa in range(32)])
+        table.update([(lpa, 900 + lpa) for lpa in range(32)])
+        for lpa in range(32):
+            assert table.lookup(lpa).ppa == 900 + lpa
+
+    def test_partial_overwrite_keeps_old_tail(self):
+        """Figure 13 (T2): [16, 31] overwrites part of [0, 63]."""
+        table = make_table()
+        table.update([(lpa, 1000 + lpa) for lpa in range(64)])
+        table.update([(lpa, 3000 + lpa) for lpa in range(16, 32)])
+        for lpa in range(64):
+            expected = 3000 + lpa if 16 <= lpa < 32 else 1000 + lpa
+            assert table.lookup(lpa).ppa == expected
+        # The old segment was demoted, not destroyed: two levels exist.
+        group = table.groups()[0]
+        assert group.level_count == 2
+
+    def test_single_point_updates(self):
+        table = make_table()
+        for i, lpa in enumerate((700, 20, 431, 90)):
+            table.update_single(lpa, 10_000 + i)
+        for i, lpa in enumerate((700, 20, 431, 90)):
+            assert table.lookup(lpa).ppa == 10_000 + i
+
+    def test_lookup_levels_reported(self):
+        table = make_table()
+        table.update([(lpa, 100 + lpa) for lpa in range(64)])
+        table.update([(lpa, 500 + lpa) for lpa in range(8, 16)])
+        shallow = table.lookup(10)
+        deep = table.lookup(40)
+        assert shallow.levels_searched == 1
+        assert deep.levels_searched == 2
+
+
+class TestCompaction:
+    def test_full_shadowing_removes_old_segment(self):
+        table = make_table()
+        table.update([(lpa, 100 + lpa) for lpa in range(64)])
+        table.update([(lpa, 900 + lpa) for lpa in range(64)])
+        table.compact()
+        assert table.segment_count() == 1
+        for lpa in range(64):
+            assert table.lookup(lpa).ppa == 900 + lpa
+
+    def test_compaction_preserves_lookups(self):
+        rng = random.Random(5)
+        table = make_table(gamma=4)
+        truth = {}
+        ppa = 0
+        for _ in range(60):
+            start = rng.randrange(0, 2000)
+            lpas = sorted(set(start + rng.randrange(0, 64) for _ in range(32)))
+            batch = []
+            for lpa in lpas:
+                batch.append((lpa, ppa))
+                truth[lpa] = ppa
+                ppa += 1
+            table.update(batch)
+        table.compact()
+        table.validate()
+        for lpa, expected in truth.items():
+            result = table.lookup(lpa)
+            assert result.found
+            assert abs(result.ppa - expected) <= 4
+
+    def test_compaction_never_increases_memory(self):
+        table = make_table()
+        for round_ in range(10):
+            table.update([(lpa, round_ * 1000 + lpa) for lpa in range(128)])
+        before = table.memory_bytes()
+        table.compact()
+        assert table.memory_bytes() <= before
+
+
+class TestMemoryAccounting:
+    def test_memory_grows_with_fragmentation(self):
+        sequential = make_table()
+        sequential.update([(lpa, lpa) for lpa in range(256)])
+        fragmented = make_table()
+        for lpa in range(0, 256, 2):
+            fragmented.update_single(lpa, lpa * 7 + 13)
+        assert fragmented.memory_bytes() > sequential.memory_bytes()
+
+    def test_random_mapping_no_worse_than_page_level(self):
+        rng = random.Random(9)
+        table = make_table()
+        lpas = sorted(rng.sample(range(10_000), 500))
+        table.update([(lpa, rng.randrange(10**6)) for lpa in lpas])
+        page_level_bytes = 500 * 8
+        # Allow the CRB/level overhead but stay in the same ballpark.
+        assert table.memory_bytes() <= page_level_bytes * 1.2
+
+    def test_stats_track_learning(self):
+        table = make_table()
+        table.update([(lpa, lpa) for lpa in range(100)])
+        assert table.stats.batches_learned == 1
+        assert table.stats.mappings_learned == 100
+        assert table.stats.segments_learned >= 1
+
+
+class TestPropertyBasedHistories:
+    @given(
+        gamma=st.sampled_from([0, 1, 4]),
+        seed=st.integers(min_value=0, max_value=10_000),
+        compact=st.booleans(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_latest_mapping_always_within_gamma(self, gamma, seed, compact):
+        rng = random.Random(seed)
+        table = make_table(gamma=gamma)
+        truth = {}
+        ppa = 0
+        for _ in range(rng.randint(1, 40)):
+            kind = rng.random()
+            if kind < 0.4:
+                start = rng.randrange(0, 3000)
+                lpas = list(range(start, start + rng.randint(1, 100)))
+            elif kind < 0.6:
+                start = rng.randrange(0, 3000)
+                stride = rng.choice((2, 3, 4))
+                lpas = list(range(start, start + stride * rng.randint(2, 40), stride))
+            else:
+                lpas = sorted(set(rng.randrange(0, 3000) for _ in range(rng.randint(1, 48))))
+            batch = []
+            for lpa in lpas:
+                batch.append((lpa, ppa))
+                truth[lpa] = ppa
+                ppa += 1
+            table.update(batch)
+        if compact:
+            table.compact()
+        table.validate()
+        for lpa, expected in truth.items():
+            result = table.lookup(lpa)
+            assert result.found, f"lost mapping for LPA {lpa}"
+            assert abs(result.ppa - expected) <= gamma
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_structural_invariants_hold(self, seed):
+        rng = random.Random(seed)
+        table = make_table(gamma=4)
+        ppa = 0
+        for _ in range(20):
+            start = rng.randrange(0, 1000)
+            lpas = sorted(set(start + rng.randrange(0, 200) for _ in range(40)))
+            table.update([(lpa, ppa + i) for i, lpa in enumerate(lpas)])
+            ppa += len(lpas)
+            table.validate()

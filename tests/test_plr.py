@@ -1,0 +1,150 @@
+"""Tests for the greedy error-bounded piecewise linear regression learner."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.plr import PLRLearner, learn_segments
+from repro.core.segment import GROUP_SIZE
+
+
+def verify_error_bound(learned, mappings, gamma):
+    """Every learned segment must predict its LPAs within gamma."""
+    truth = dict(mappings)
+    for item in learned:
+        for lpa in item.lpas:
+            error = abs(item.segment.predict(lpa) - truth[lpa])
+            limit = 0 if item.segment.accurate else gamma
+            assert error <= limit, (
+                f"segment {item.segment} predicts {item.segment.predict(lpa)} "
+                f"for LPA {lpa}, truth {truth[lpa]}, gamma {gamma}"
+            )
+
+
+def covered_lpas(learned):
+    out = []
+    for item in learned:
+        out.extend(item.lpas)
+    return out
+
+
+class TestSequentialPatterns:
+    def test_single_sequential_run_is_one_segment(self):
+        mappings = [(lpa, 1000 + lpa) for lpa in range(100)]
+        learned = learn_segments(mappings, gamma=0)
+        assert len(learned) == 1
+        assert learned[0].accurate
+        assert len(learned[0].lpas) == 100
+
+    def test_strided_run_is_one_accurate_segment(self):
+        mappings = [(10 + 4 * i, 500 + i) for i in range(30)]
+        learned = learn_segments(mappings, gamma=0)
+        assert len(learned) == 1
+        assert learned[0].accurate
+        verify_error_bound(learned, mappings, 0)
+
+    def test_figure1_example_segments(self):
+        # Pattern A: sequential; pattern B: regular stride 2.
+        pattern_a = [(30 + i, 155 + i) for i in range(5)]
+        pattern_b = [(60 + 2 * i, 200 + i) for i in range(5)]
+        learned_a = learn_segments(pattern_a, gamma=0)
+        learned_b = learn_segments(pattern_b, gamma=0)
+        assert len(learned_a) == 1 and learned_a[0].accurate
+        assert len(learned_b) == 1 and learned_b[0].accurate
+
+    def test_irregular_pattern_needs_gamma(self):
+        # Pattern C of Figure 1: irregular stride, only learnable approximately.
+        lpas = [80, 82, 83, 84, 87]
+        mappings = [(lpa, 304 + i) for i, lpa in enumerate(lpas)]
+        exact = learn_segments(mappings, gamma=0)
+        relaxed = learn_segments(mappings, gamma=4)
+        assert len(relaxed) < len(exact)
+        verify_error_bound(relaxed, mappings, 4)
+
+
+class TestRandomPatterns:
+    def test_random_mappings_become_single_points(self):
+        rng = random.Random(7)
+        lpas = rng.sample(range(0, 200, 7), 20)
+        mappings = [(lpa, rng.randrange(10**6)) for lpa in sorted(lpas)]
+        learned = learn_segments(mappings, gamma=0)
+        # Memory never exceeds page-level mapping: at most one segment each.
+        assert len(learned) <= len(mappings)
+        verify_error_bound(learned, mappings, 0)
+
+    def test_all_lpas_covered_exactly_once(self):
+        rng = random.Random(11)
+        lpas = sorted(rng.sample(range(1000), 300))
+        mappings = [(lpa, 5000 + i) for i, lpa in enumerate(lpas)]
+        learned = learn_segments(mappings, gamma=4)
+        assert sorted(covered_lpas(learned)) == lpas
+
+
+class TestLearnerProperties:
+    def test_duplicate_lpas_rejected(self):
+        with pytest.raises(ValueError):
+            learn_segments([(1, 10), (1, 11)], gamma=0)
+
+    def test_empty_batch(self):
+        assert learn_segments([], gamma=0) == []
+
+    def test_negative_gamma_rejected(self):
+        with pytest.raises(ValueError):
+            PLRLearner(gamma=-1)
+
+    def test_segments_never_span_groups(self):
+        mappings = [(250 + i, 900 + i) for i in range(12)]  # crosses LPA 256
+        learned = learn_segments(mappings, gamma=0)
+        for item in learned:
+            assert item.segment.end_lpa < item.segment.group_base + GROUP_SIZE
+            assert item.segment.start_lpa >= item.segment.group_base
+        assert sorted(covered_lpas(learned)) == [lpa for lpa, _ in mappings]
+
+    def test_segment_count_decreases_with_gamma(self):
+        rng = random.Random(3)
+        mappings = []
+        ppa = 0
+        lpa = 0
+        while lpa < 2000:
+            mappings.append((lpa, ppa))
+            ppa += 1
+            lpa += rng.choice((1, 1, 1, 2, 3))
+        counts = {}
+        for gamma in (0, 4, 8):
+            counts[gamma] = len(learn_segments(mappings, gamma=gamma))
+            verify_error_bound(learn_segments(mappings, gamma=gamma), mappings, gamma)
+        assert counts[4] <= counts[0]
+        assert counts[8] <= counts[4]
+
+    @given(
+        gamma=st.sampled_from([0, 1, 4, 16]),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_error_bound_is_hard_guarantee(self, gamma, seed):
+        """Property: for any monotonic batch, predictions stay within gamma."""
+        rng = random.Random(seed)
+        lpa = rng.randrange(0, 5000)
+        mappings = []
+        ppa = rng.randrange(0, 100_000)
+        for _ in range(rng.randint(1, 300)):
+            mappings.append((lpa, ppa))
+            lpa += rng.choice((1, 1, 2, 3, 5, 17))
+            ppa += 1
+        learned = learn_segments(mappings, gamma=gamma)
+        verify_error_bound(learned, mappings, gamma)
+        assert sorted(covered_lpas(learned)) == [l for l, _ in mappings]
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_random_ppas_error_bound(self, seed):
+        """Even non-monotonic PPAs (worst case) respect the bound."""
+        rng = random.Random(seed)
+        lpas = sorted(rng.sample(range(3000), rng.randint(1, 200)))
+        mappings = [(lpa, rng.randrange(10**6)) for lpa in lpas]
+        for gamma in (0, 4):
+            learned = learn_segments(mappings, gamma=gamma)
+            verify_error_bound(learned, mappings, gamma)

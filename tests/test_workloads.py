@@ -1,0 +1,177 @@
+"""Tests for the workload generators, trace model and MSR parser."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads import (
+    DATABASE_WORKLOAD_NAMES,
+    FIU_WORKLOAD_NAMES,
+    MSR_WORKLOAD_NAMES,
+    IORequest,
+    Trace,
+    WorkloadProfile,
+    database_workload,
+    fiu_workload,
+    generate,
+    jittered_run,
+    msr_workload,
+    parse_msr_trace,
+    sequential_run,
+    strided_run,
+    write_msr_trace,
+    zipf_lpa,
+)
+from repro.workloads.msr import msr_profile
+
+
+class TestTrace:
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            IORequest("X", 0, 1)
+        with pytest.raises(ValueError):
+            IORequest("R", -1, 1)
+        with pytest.raises(ValueError):
+            IORequest("R", 0, 0)
+
+    def test_summary_statistics(self):
+        trace = Trace("t", [IORequest("W", 0, 4), IORequest("R", 2, 2), IORequest("R", 100, 1)])
+        assert trace.read_requests == 2
+        assert trace.write_requests == 1
+        assert trace.write_pages == 4
+        assert trace.read_pages == 3
+        assert trace.footprint_pages() == 5
+        assert trace.written_footprint_pages() == 4
+        assert trace.max_lpa() == 100
+        assert trace.read_ratio == pytest.approx(2 / 3)
+
+    def test_scaled_to_clamps_lpas(self):
+        trace = Trace("t", [IORequest("W", 1000, 4)])
+        clamped = trace.scaled_to(512)
+        assert clamped[0].lpa < 512
+        assert clamped[0].lpa + clamped[0].npages <= 512
+
+    def test_truncated_and_concatenated(self):
+        trace = Trace("t", [IORequest("R", i, 1) for i in range(10)])
+        assert len(trace.truncated(3)) == 3
+        assert len(trace.concatenated(trace)) == 20
+
+    def test_as_tuples_round_trip(self):
+        trace = Trace("t", [IORequest("W", 5, 2)])
+        rebuilt = Trace.from_tuples("t", trace.as_tuples())
+        assert rebuilt[0].lpa == 5 and rebuilt[0].npages == 2
+
+
+class TestPatternGenerators:
+    def test_sequential_run(self):
+        assert sequential_run(10, 4) == [10, 11, 12, 13]
+
+    def test_strided_run(self):
+        assert strided_run(10, 3, 4) == [10, 13, 16, 19]
+
+    def test_jittered_run_is_monotonic(self):
+        import random
+
+        lpas = jittered_run(100, 50, random.Random(0))
+        assert all(b > a for a, b in zip(lpas, lpas[1:]))
+
+    @given(st.integers(min_value=1, max_value=10**6), st.floats(min_value=0.0, max_value=0.99))
+    @settings(max_examples=100)
+    def test_zipf_lpa_in_range(self, footprint, alpha):
+        import random
+
+        lpa = zipf_lpa(random.Random(0), footprint, alpha)
+        assert 0 <= lpa < footprint
+
+
+class TestProfiles:
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(
+                name="bad", footprint_pages=100, num_requests=10, read_ratio=0.5,
+                sequential_fraction=0.9, strided_fraction=0.9,
+                jittered_fraction=0.0, random_fraction=0.0,
+            )
+
+    def test_generation_is_deterministic(self):
+        profile = msr_profile("hm").scaled(0.02)
+        a = generate(profile)
+        b = generate(profile)
+        assert [r.as_tuple() for r in a] == [r.as_tuple() for r in b]
+
+    @pytest.mark.parametrize("name", MSR_WORKLOAD_NAMES + FIU_WORKLOAD_NAMES)
+    def test_named_profiles_generate(self, name):
+        if name.startswith("MSR"):
+            trace = msr_workload(name, request_scale=0.02)
+        else:
+            trace = fiu_workload(name, request_scale=0.02)
+        assert len(trace) > 0
+        assert trace.name == name
+        # The generated mix respects the profile's read ratio within tolerance.
+        profile = msr_profile(name) if name.startswith("MSR") else None
+        if profile is not None:
+            assert abs(trace.read_ratio - profile.read_ratio) < 0.15
+
+    @pytest.mark.parametrize("name", DATABASE_WORKLOAD_NAMES)
+    def test_database_workloads_generate(self, name):
+        trace = database_workload(name, request_scale=0.02)
+        assert len(trace) > 0
+        assert trace.footprint_pages() > 0
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            msr_workload("nope")
+        with pytest.raises(KeyError):
+            fiu_workload("nope")
+        with pytest.raises(KeyError):
+            database_workload("nope")
+
+    def test_scaling_reduces_requests(self):
+        full = msr_profile("usr")
+        scaled = full.scaled(request_scale=0.1)
+        assert scaled.num_requests == pytest.approx(full.num_requests * 0.1, rel=0.01)
+
+
+class TestMSRParser:
+    SAMPLE = (
+        "128166372003061629,hm,0,Read,8192,4096,100\n"
+        "128166372016853991,hm,0,Write,12288,8192,200\n"
+        "\n"
+        "# comment line\n"
+    )
+
+    def test_parse_basic(self):
+        trace = parse_msr_trace(io.StringIO(self.SAMPLE), name="sample")
+        assert len(trace) == 2
+        assert trace[0].op == "R" and trace[0].lpa == 2 and trace[0].npages == 1
+        assert trace[1].op == "W" and trace[1].lpa == 3 and trace[1].npages == 2
+
+    def test_parse_respects_page_size(self):
+        trace = parse_msr_trace(io.StringIO(self.SAMPLE), page_size=8192)
+        assert trace[0].lpa == 1
+        assert trace[1].npages == 1
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError):
+            parse_msr_trace(io.StringIO("1,2,3\n"))
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            parse_msr_trace(io.StringIO("1,h,0,Trim,0,4096,0\n"))
+
+    def test_max_requests(self):
+        trace = parse_msr_trace(io.StringIO(self.SAMPLE), max_requests=1)
+        assert len(trace) == 1
+
+    def test_write_and_reparse_round_trip(self):
+        original = Trace("t", [IORequest("W", 7, 3), IORequest("R", 100, 1)])
+        buffer = io.StringIO()
+        write_msr_trace(original, buffer)
+        buffer.seek(0)
+        parsed = parse_msr_trace(buffer)
+        assert [(r.op, r.lpa, r.npages) for r in parsed] == [
+            (r.op, r.lpa, r.npages) for r in original
+        ]
