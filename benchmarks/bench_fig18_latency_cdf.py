@@ -2,6 +2,11 @@
 
 The paper shows that LeaFTL does not increase the tail latency while the
 higher cache hit ratio reduces the latency of many accesses.
+
+The contended variant replays the same workload at queue depth 8 through
+the event-driven engine, so the CDF includes the channel contention between
+outstanding foreground reads and the background flush/GC traffic — the
+regime real tail latencies come from.
 """
 
 from __future__ import annotations
@@ -12,17 +17,42 @@ from repro.experiments.performance import latency_distribution
 from benchmarks.conftest import perf_setup, run_once
 
 
-def test_fig18_oltp_latency_cdf(benchmark):
-    setup = perf_setup(dram_policy="cache_reserved")
-    cdf = run_once(benchmark, latency_distribution, "OLTP", setup)
-
+def _render_cdf(title, cdf):
     print_report(render_series(
-        "Figure 18: OLTP read latency (us) at CDF points",
+        title,
         {scheme: {f"{p:g}%": round(v, 1) for p, v in points.items()}
          for scheme, points in cdf.items()},
     ))
 
+
+def test_fig18_oltp_latency_cdf(benchmark):
+    setup = perf_setup(dram_policy="cache_reserved")
+    cdf = run_once(benchmark, latency_distribution, "OLTP", setup)
+
+    _render_cdf("Figure 18: OLTP read latency (us) at CDF points", cdf)
+
     # LeaFTL's tail (99.9th percentile) stays within 1.5x of the baselines.
     assert cdf["LeaFTL"][99.9] <= 1.5 * max(cdf["DFTL"][99.9], cdf["SFTL"][99.9], 1.0)
     # And the median-ish latency is no worse than DFTL's.
+    assert cdf["LeaFTL"][60.0] <= cdf["DFTL"][60.0] + 1.0
+
+
+def test_fig18_oltp_latency_cdf_contended(benchmark):
+    """The queue-depth-8 CDF: reads contend with background flush/GC."""
+    setup = perf_setup(dram_policy="cache_reserved")
+    cdf = run_once(
+        benchmark,
+        latency_distribution,
+        "OLTP",
+        setup,
+        schemes=("DFTL", "LeaFTL"),
+        queue_depth=8,
+    )
+
+    _render_cdf("Figure 18 (queue depth 8): OLTP read latency (us)", cdf)
+
+    # Under contention tails are dominated by queueing, which is common to
+    # every scheme — LeaFTL's stays within 2x of DFTL's at every scale.
+    assert cdf["LeaFTL"][99.9] <= 2.0 * max(cdf["DFTL"][99.9], 1.0)
+    # The median-ish latency advantage (bigger cache) survives contention.
     assert cdf["LeaFTL"][60.0] <= cdf["DFTL"][60.0] + 1.0

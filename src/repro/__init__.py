@@ -15,6 +15,10 @@ Public API overview
 ``repro.flash`` / ``repro.ssd``
     The SSD simulator substrate (flash array, OOB, allocator, cache, write
     buffer, GC, wear leveling, the trace-driven device model).
+``repro.sim``
+    The event-driven engine: deterministic event loop, per-channel/per-die
+    NAND scheduling and the NCQ-style host frontend used when replays run
+    at ``queue_depth > 1``.
 ``repro.workloads``
     Trace representation, MSR/FIU-like and database-style generators, and a
     parser for original MSR-format traces.
@@ -43,6 +47,7 @@ from repro.core import (
     learn_segments,
 )
 from repro.ftl import DFTL, FTL, PageLevelFTL, SFTL, TranslationResult
+from repro.sim import EventLoop, HostFrontend, NANDScheduler, interleave_streams
 from repro.ssd import SimulatedSSD, SSDOptions, SSDStats
 from repro.workloads import IORequest, Trace
 
@@ -64,6 +69,10 @@ __all__ = [
     "PageLevelFTL",
     "SFTL",
     "TranslationResult",
+    "EventLoop",
+    "HostFrontend",
+    "NANDScheduler",
+    "interleave_streams",
     "SimulatedSSD",
     "SSDOptions",
     "SSDStats",

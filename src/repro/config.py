@@ -76,6 +76,9 @@ class SSDConfig:
     gc_threshold: float = 0.15
     #: GC stops once the free-block ratio is restored above this level.
     gc_restore: float = 0.25
+    #: Maximum host commands the device keeps outstanding (NCQ depth).  The
+    #: effective replay concurrency is ``min(ncq_depth, options.queue_depth)``.
+    ncq_depth: int = 32
 
     def __post_init__(self) -> None:
         if self.capacity_bytes <= 0:
@@ -92,6 +95,8 @@ class SSDConfig:
             raise ValueError("overprovisioning must be in [0, 1)")
         if not 0.0 < self.gc_threshold < self.gc_restore <= 1.0:
             raise ValueError("require 0 < gc_threshold < gc_restore <= 1")
+        if self.ncq_depth <= 0:
+            raise ValueError("ncq_depth must be positive")
 
     # ------------------------------------------------------------------ #
     # Derived geometry

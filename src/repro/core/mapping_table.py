@@ -133,22 +133,31 @@ class LogStructuredMappingTable:
     # Lookup
     # ------------------------------------------------------------------ #
     def lookup(self, lpa: int) -> LookupResult:
-        """Resolve ``lpa`` to its (possibly approximate) PPA."""
+        """Resolve ``lpa`` to its (possibly approximate) PPA.
+
+        Every lookup — hit, in-group miss or group miss — charges at least
+        one searched level: even a group miss consults the group directory.
+        Counting misses as zero levels while still counting the lookup
+        would deflate ``mean_levels_per_lookup`` (Figure 23a) on workloads
+        with many cold reads.
+        """
         self.stats.lookups += 1
         group = self.group_for(lpa)
         if group is None:
-            return LookupResult(ppa=None)
+            self.stats.lookup_levels_total += 1
+            return LookupResult(ppa=None, levels_searched=1)
         result: GroupLookup = group.lookup(lpa)
-        self.stats.lookup_levels_total += max(result.levels_searched, 1)
+        levels = max(result.levels_searched, 1)
+        self.stats.lookup_levels_total += levels
         return LookupResult(
             ppa=result.ppa,
-            levels_searched=result.levels_searched,
+            levels_searched=levels,
             segment=result.segment,
         )
 
     def exists(self, lpa: int) -> bool:
-        group = self.group_for(lpa)
-        return group is not None and group.lookup(lpa).found
+        """Membership test; charged to the lookup stats like any lookup."""
+        return self.lookup(lpa).found
 
     # ------------------------------------------------------------------ #
     # Compaction

@@ -112,7 +112,10 @@ class PLRLearner:
         index = start + 1
         while index < len(points):
             x, y = points[index]
-            if x - x0 > GROUP_SIZE - 1:
+            # The configured group span, not the module-wide maximum: with
+            # group_size < 256 a cone must still stop at the group boundary
+            # (the 1-byte S_LPA/L fields are group-relative).
+            if x - x0 > self.group_size - 1:
                 break
             dx = float(x - x0)
             point_low = (y - gamma - y0) / dx

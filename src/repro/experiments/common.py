@@ -90,6 +90,9 @@ class ExperimentSetup:
     footprint_scale: float = 0.6
     #: Sort the write buffer by LPA before flushing (ablation knob).
     sort_buffer_on_flush: bool = True
+    #: Host requests kept outstanding during replay (1 = the classic
+    #: synchronous simulation; > 1 uses the event-driven engine).
+    queue_depth: int = 1
     #: Random seed of the warm-up pattern.
     seed: int = 7
 
@@ -101,6 +104,7 @@ class ExperimentSetup:
             channels=self.channels,
             dram_size=self.dram_bytes,
             write_buffer_bytes=self.write_buffer_bytes,
+            ncq_depth=max(32, self.queue_depth),
         )
 
     def dram_budget(self) -> DRAMBudget:
@@ -161,7 +165,10 @@ def build_ssd(scheme: str, setup: ExperimentSetup) -> SimulatedSSD:
     """An SSD + FTL pair ready for warm-up and trace replay."""
     config = setup.ssd_config()
     ftl = build_ftl(scheme, setup)
-    options = SSDOptions(sort_buffer_on_flush=setup.sort_buffer_on_flush)
+    options = SSDOptions(
+        sort_buffer_on_flush=setup.sort_buffer_on_flush,
+        queue_depth=setup.queue_depth,
+    )
     return SimulatedSSD(
         config=config,
         ftl=ftl,
@@ -197,8 +204,12 @@ def warmup_ssd(ssd: SimulatedSSD, setup: ExperimentSetup) -> None:
 
 
 def reset_measurement(ssd: SimulatedSSD) -> None:
-    """Clear the statistics accumulated so far (end of warm-up)."""
-    ssd.stats = SSDStats()
+    """Clear the statistics accumulated so far (end of warm-up).
+
+    Also anchors the measured-time origin, so ``stats.measured_time_us``
+    of the subsequent replay excludes the warm-up makespan.
+    """
+    ssd.begin_measurement()
     ssd.ftl.stats.reset()
     lea = getattr(ssd.ftl, "lea_stats", None)
     if lea is not None:

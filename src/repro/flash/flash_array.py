@@ -25,6 +25,7 @@ from typing import Dict, Iterable, List, Optional
 from repro.config import SSDConfig
 from repro.flash.geometry import FlashGeometry
 from repro.flash.oob import OOBArea
+from repro.sim.nand import NANDScheduler
 
 
 class PageState(enum.Enum):
@@ -68,7 +69,9 @@ class _BlockState:
 class FlashArray:
     """A multi-channel NAND flash array with per-channel time accounting."""
 
-    def __init__(self, config: SSDConfig) -> None:
+    def __init__(
+        self, config: SSDConfig, scheduler: Optional[NANDScheduler] = None
+    ) -> None:
         self._config = config
         self._geometry = FlashGeometry(config)
         total_pages = self._geometry.total_pages
@@ -78,7 +81,9 @@ class FlashArray:
         self._page_lpa: List[Optional[int]] = [None] * total_pages
         self._oob: Dict[int, OOBArea] = {}
         self._blocks: List[_BlockState] = [_BlockState() for _ in range(total_blocks)]
-        self._channel_busy_until: List[float] = [0.0] * config.channels
+        self._scheduler = scheduler or NANDScheduler(
+            config.channels, config.dies_per_channel
+        )
         self.counters = FlashCounters()
 
     # ------------------------------------------------------------------ #
@@ -128,9 +133,14 @@ class FlashArray:
             if self._page_state[ppa] is PageState.VALID
         ]
 
+    @property
+    def scheduler(self) -> NANDScheduler:
+        """The NAND scheduler arbitrating channel-bus and die occupancy."""
+        return self._scheduler
+
     def channel_busy_until(self, channel: int) -> float:
-        """Simulated time (us) until which ``channel`` is occupied."""
-        return self._channel_busy_until[channel]
+        """Simulated time (us) until which ``channel``'s bus is occupied."""
+        return self._scheduler.busy_until(channel)
 
     # ------------------------------------------------------------------ #
     # Time accounting
@@ -142,10 +152,7 @@ class FlashArray:
         modelled traffic (e.g. DFTL translation-page I/O) that does not go
         through a specific data page.
         """
-        start = max(now_us, self._channel_busy_until[channel])
-        finish = start + duration_us
-        self._channel_busy_until[channel] = finish
-        return finish
+        return self._scheduler.reserve(channel, now_us, duration_us)
 
 
     # ------------------------------------------------------------------ #
@@ -161,8 +168,7 @@ class FlashArray:
         if state is PageState.FREE:
             raise FlashError(f"read of unwritten page ppa={ppa}")
         self.counters.page_reads += 1
-        channel = self._geometry.channel_of(ppa)
-        return self.occupy_channel(channel, now_us, self._config.read_latency_us)
+        return self._reserve_read(ppa, now_us)
 
     def read_oob(self, ppa: int, now_us: float = 0.0) -> float:
         """Read only the OOB of a page (modelled with full page-read latency).
@@ -174,8 +180,16 @@ class FlashArray:
         if self._page_state[ppa] is PageState.FREE:
             raise FlashError(f"OOB read of unwritten page ppa={ppa}")
         self.counters.oob_reads += 1
-        channel = self._geometry.channel_of(ppa)
-        return self.occupy_channel(channel, now_us, self._config.read_latency_us)
+        return self._reserve_read(ppa, now_us)
+
+    def _reserve_read(self, ppa: int, now_us: float) -> float:
+        """Schedule a page-sized read on ``ppa``'s channel and die."""
+        return self._scheduler.reserve(
+            self._geometry.channel_of(ppa),
+            now_us,
+            self._config.read_latency_us,
+            die=self._geometry.die_of(ppa),
+        )
 
     def program_page(
         self,
@@ -208,11 +222,17 @@ class FlashArray:
         block_state.valid_pages += 1
         block_state.write_pointer += 1
         self.counters.page_writes += 1
-        channel = self._geometry.channel_of(ppa)
-        # Programs proceed inside a die; the channel is only occupied for the
-        # data transfer share, so concurrent programs on other dies overlap.
+        # Programs proceed inside a die; the channel bus is only occupied for
+        # the data transfer share, so concurrent programs on other dies
+        # overlap.  The die itself stays busy for the full program time.
         occupancy = self._config.write_latency_us / self._config.dies_per_channel
-        return self.occupy_channel(channel, now_us, occupancy)
+        return self._scheduler.reserve(
+            self._geometry.channel_of(ppa),
+            now_us,
+            occupancy,
+            die=self._geometry.die_of(ppa),
+            cell_us=self._config.write_latency_us,
+        )
 
     def invalidate_page(self, ppa: int) -> None:
         """Mark a VALID page as INVALID (its LPA was overwritten or trimmed)."""
@@ -238,9 +258,14 @@ class FlashArray:
         state.erase_count += 1
         state.write_pointer = 0
         self.counters.block_erases += 1
-        channel = self._geometry.block_to_channel(block)
         occupancy = self._config.erase_latency_us / self._config.dies_per_channel
-        return self.occupy_channel(channel, now_us, occupancy)
+        return self._scheduler.reserve(
+            self._geometry.block_to_channel(block),
+            now_us,
+            occupancy,
+            die=self._geometry.die_of_block(block),
+            cell_us=self._config.erase_latency_us,
+        )
 
     # ------------------------------------------------------------------ #
     # Bulk helpers

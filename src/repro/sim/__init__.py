@@ -1,0 +1,26 @@
+"""Event-driven simulation engine: event loop, NAND scheduling, host frontend.
+
+This package supplies the concurrency substrate of the SSD model:
+
+* :class:`repro.sim.events.EventLoop` — deterministic time-ordered queue;
+* :class:`repro.sim.nand.NANDScheduler` — per-channel-bus / per-die timing;
+* :class:`repro.sim.frontend.HostFrontend` — NCQ-style request admission.
+
+:class:`repro.ssd.ssd.SimulatedSSD` uses these pieces when its
+``queue_depth`` option exceeds 1 (or when the event engine is forced),
+letting foreground reads genuinely overlap background flush and GC traffic.
+"""
+
+from repro.sim.events import Event, EventLoop
+from repro.sim.frontend import FrontendStats, HostFrontend, interleave_streams
+from repro.sim.nand import NANDScheduler, TIMING_MODELS
+
+__all__ = [
+    "Event",
+    "EventLoop",
+    "FrontendStats",
+    "HostFrontend",
+    "NANDScheduler",
+    "TIMING_MODELS",
+    "interleave_streams",
+]

@@ -1,0 +1,120 @@
+"""The host frontend: NCQ-style request admission at a configurable depth.
+
+Real hosts do not wait for a request to complete before sending the next
+one — they keep up to ``queue_depth`` commands outstanding (SATA NCQ: 32,
+NVMe: far more).  The frontend models that closed-loop behaviour on top of
+the event loop:
+
+1. the first ``queue_depth`` trace requests are admitted immediately;
+2. each admitted request is issued to the device at its admission time; the
+   device reserves channel time and reports the completion time;
+3. a completion frees one slot, admitting the next trace request *at the
+   completion time* — so with depth 1 the replay degenerates to the classic
+   synchronous simulation, and with depth N foreground requests genuinely
+   overlap each other and the background flush/GC traffic their
+   predecessors triggered.
+
+The device is duck-typed: anything with
+``submit(op, lpa, npages, at_us) -> finish_us`` works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.sim.events import Event, EventLoop
+
+#: One host request: ("R" | "W", first LPA, page count).
+Request = Tuple[str, int, int]
+
+
+@dataclass
+class FrontendStats:
+    """Counters describing one frontend run."""
+
+    submitted: int = 0
+    completed: int = 0
+    max_outstanding: int = 0
+    #: Completion time of the last request (us).
+    finished_at_us: float = 0.0
+
+
+class HostFrontend:
+    """Admits trace requests into the device at a bounded queue depth."""
+
+    def __init__(self, device, loop: EventLoop, queue_depth: int = 1) -> None:
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be at least 1")
+        self._device = device
+        self._loop = loop
+        self._queue_depth = queue_depth
+        self._source: Optional[Iterator[Request]] = None
+        self._outstanding = 0
+        self.stats = FrontendStats()
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue_depth
+
+    @property
+    def outstanding(self) -> int:
+        return self._outstanding
+
+    # ------------------------------------------------------------------ #
+    # Replay
+    # ------------------------------------------------------------------ #
+    def run(self, requests: Iterable[Request]) -> FrontendStats:
+        """Replay ``requests`` to completion; returns the frontend stats."""
+        self._source = iter(requests)
+        for _ in range(self._queue_depth):
+            if not self._admit(self._loop.now_us):
+                break
+        self._loop.run()
+        return self.stats
+
+    # ------------------------------------------------------------------ #
+    # Event handlers
+    # ------------------------------------------------------------------ #
+    def _admit(self, at_us: float) -> bool:
+        assert self._source is not None
+        request = next(self._source, None)
+        if request is None:
+            return False
+        self._loop.schedule(at_us, "request_issue", self._issue, payload=request)
+        return True
+
+    def _issue(self, event: Event) -> None:
+        op, lpa, npages = event.payload  # type: ignore[misc]
+        self._outstanding += 1
+        self.stats.submitted += 1
+        if self._outstanding > self.stats.max_outstanding:
+            self.stats.max_outstanding = self._outstanding
+        finish = self._device.submit(op, lpa, npages, at_us=event.time_us)
+        self._loop.schedule(finish, "request_complete", self._complete)
+
+    def _complete(self, event: Event) -> None:
+        self._outstanding -= 1
+        self.stats.completed += 1
+        if event.time_us > self.stats.finished_at_us:
+            self.stats.finished_at_us = event.time_us
+        self._admit(event.time_us)
+
+
+def interleave_streams(*streams: Iterable[Request]) -> Iterator[Request]:
+    """Round-robin merge of several request streams (multi-tenant mixes).
+
+    Each tenant's stream keeps its internal order; exhausted streams drop
+    out.  Combined with ``queue_depth > 1`` this is how a shared device
+    serving several workloads at once is simulated.
+    """
+    iterators: List[Iterator[Request]] = [iter(stream) for stream in streams]
+    while iterators:
+        still_live: List[Iterator[Request]] = []
+        for iterator in iterators:
+            item = next(iterator, None)
+            if item is None:
+                continue
+            yield item
+            still_live.append(iterator)
+        iterators = still_live

@@ -125,8 +125,24 @@ class SSDStats:
     gc_invocations: int = 0
     compactions: int = 0
 
+    # Concurrency (event-driven engine).
+    #: Time foreground data reads spent queued behind busy channels (us) —
+    #: the direct measure of reads delayed by flush/GC/other-request traffic.
+    read_stall_us: float = 0.0
+    #: Events processed by the event loop (0 for the synchronous fast path).
+    events_processed: int = 0
+    #: Background flash completions (flush programs, GC migrations, erases)
+    #: observed by the event loop while host requests were in flight.
+    background_completions: int = 0
+    #: Largest number of host requests simultaneously outstanding.
+    max_outstanding_requests: int = 0
+
     # Timing.
+    #: Absolute device clock at the end of the replay (includes warm-up).
     simulated_time_us: float = 0.0
+    #: Replay makespan since the last ``SimulatedSSD.begin_measurement()``
+    #: (equals ``simulated_time_us`` when no measurement anchor was set).
+    measured_time_us: float = 0.0
 
     read_latency: LatencyRecorder = field(default_factory=LatencyRecorder)
     write_latency: LatencyRecorder = field(default_factory=LatencyRecorder)
@@ -203,4 +219,6 @@ class SSDStats:
             "simulated_time_us": self.simulated_time_us,
             "peak_mapping_bytes": float(self.peak_mapping_bytes),
             "gc_invocations": float(self.gc_invocations),
+            "read_stall_us": self.read_stall_us,
+            "max_outstanding_requests": float(self.max_outstanding_requests),
         }

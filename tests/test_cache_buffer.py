@@ -114,3 +114,57 @@ class TestWriteBuffer:
     def test_invalid_capacity(self):
         with pytest.raises(ValueError):
             WriteBuffer(capacity_pages=0)
+
+
+class TestWriteBufferPartialDrain:
+    """Partial-drain semantics: max_pages interacting with sort_on_flush."""
+
+    def test_sorted_partial_drain_takes_lowest_lpas(self):
+        buffer = WriteBuffer(capacity_pages=16)
+        for lpa in (9, 3, 12, 1, 7):
+            buffer.add(lpa)
+        assert buffer.drain(max_pages=2) == [1, 3]
+        assert len(buffer) == 3
+        assert 9 in buffer and 1 not in buffer
+        assert buffer.drain() == [7, 9, 12]
+
+    def test_unsorted_partial_drain_takes_arrival_order(self):
+        buffer = WriteBuffer(capacity_pages=16, sort_on_flush=False)
+        for lpa in (9, 3, 12, 1, 7):
+            buffer.add(lpa)
+        assert buffer.drain(max_pages=2) == [9, 3]
+        assert buffer.drain(max_pages=2) == [12, 1]
+        assert buffer.drain() == [7]
+
+    def test_partial_drain_larger_than_content_takes_all(self):
+        buffer = WriteBuffer(capacity_pages=8)
+        buffer.add(2)
+        buffer.add(1)
+        assert buffer.drain(max_pages=10) == [1, 2]
+        assert len(buffer) == 0
+
+    def test_stats_after_partial_drains(self):
+        buffer = WriteBuffer(capacity_pages=16)
+        for lpa in range(10):
+            buffer.add(lpa)
+        buffer.drain(max_pages=4)
+        buffer.drain(max_pages=4)
+        buffer.drain()
+        assert buffer.stats.flushes == 3
+        assert buffer.stats.pages_flushed == 10
+        assert buffer.stats.writes == 10
+
+    def test_draining_empty_buffer_is_not_a_flush(self):
+        buffer = WriteBuffer(capacity_pages=4)
+        assert buffer.drain() == []
+        assert buffer.stats.flushes == 0
+        assert buffer.stats.pages_flushed == 0
+
+    def test_rewrite_after_partial_drain_buffers_again(self):
+        buffer = WriteBuffer(capacity_pages=8)
+        buffer.add(1)
+        buffer.add(2)
+        buffer.drain(max_pages=1)   # drains LPA 1
+        buffer.add(1)               # no longer buffered: not an overwrite
+        assert buffer.stats.overwrites == 0
+        assert sorted([2, 1]) == buffer.drain()

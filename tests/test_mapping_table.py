@@ -186,3 +186,50 @@ class TestPropertyBasedHistories:
             table.update([(lpa, ppa + i) for i, lpa in enumerate(lpas)])
             ppa += len(lpas)
             table.validate()
+
+
+class TestLookupStatsAccounting:
+    """Regression: miss lookups must not deflate mean_levels_per_lookup.
+
+    A lookup whose group does not exist still consults the group directory,
+    so it charges one searched level; counting it as zero while still
+    incrementing ``lookups`` skewed Figure 23a on cold-read workloads.
+    """
+
+    def test_group_miss_charges_one_level(self):
+        table = make_table()
+        result = table.lookup(123)
+        assert not result.found
+        assert result.levels_searched == 1
+        assert table.stats.lookups == 1
+        assert table.stats.lookup_levels_total == 1
+        assert table.stats.mean_levels_per_lookup == 1.0
+
+    def test_every_lookup_charges_at_least_one_level(self):
+        table = make_table()
+        table.update([(lpa, 100 + lpa) for lpa in range(32)])
+        for lpa in range(32):
+            assert table.lookup(lpa).found
+        for lpa in range(100_000, 100_032):   # cold groups: all misses
+            assert not table.lookup(lpa).found
+        assert table.stats.lookups == 64
+        assert table.stats.lookup_levels_total >= table.stats.lookups
+        assert table.stats.mean_levels_per_lookup >= 1.0
+
+    def test_in_group_miss_counts_levels_searched(self):
+        table = make_table()
+        table.update([(0, 100)])   # group 0 exists, LPA 5 unmapped
+        result = table.lookup(5)
+        assert not result.found
+        assert result.levels_searched >= 1
+        assert table.stats.lookup_levels_total >= 1
+
+    def test_exists_uses_the_same_stats_policy(self):
+        table = make_table()
+        table.update([(0, 100)])
+        lookups_before = table.stats.lookups
+        levels_before = table.stats.lookup_levels_total
+        assert table.exists(0)
+        assert not table.exists(999_999)
+        assert table.stats.lookups == lookups_before + 2
+        assert table.stats.lookup_levels_total >= levels_before + 2

@@ -148,3 +148,39 @@ class TestLearnerProperties:
         for gamma in (0, 4):
             learned = learn_segments(mappings, gamma=gamma)
             verify_error_bound(learned, mappings, gamma)
+
+
+class TestConfiguredGroupSize:
+    """Regression: the cone must stop at the *configured* group span.
+
+    ``_extend_cone`` used to cap segment spans with the module constant
+    ``GROUP_SIZE`` (256) instead of ``self.group_size``, so learners
+    configured with a smaller group size could grow cones past their group
+    boundary.
+    """
+
+    def test_extend_cone_stops_at_configured_group_span(self):
+        learner = PLRLearner(gamma=0, group_size=64)
+        # A perfectly linear run: the cone alone never closes, so only the
+        # group-span cap can stop it.
+        points = [(lpa, 1000 + lpa) for lpa in range(200)]
+        end = learner._extend_cone(points, 0)
+        assert points[end - 1][0] - points[0][0] <= 63
+
+    def test_extend_cone_default_group_size_unchanged(self):
+        learner = PLRLearner(gamma=0)
+        points = [(lpa, 1000 + lpa) for lpa in range(300)]
+        end = learner._extend_cone(points, 0)
+        assert points[end - 1][0] - points[0][0] == GROUP_SIZE - 1
+
+    def test_learning_with_group_size_64(self):
+        learner = PLRLearner(gamma=4, group_size=64)
+        mappings = [(lpa, 2000 + lpa) for lpa in range(256)]
+        learned = learner.learn(mappings)
+        # 256 sequential LPAs split into (at least) four 64-LPA groups.
+        assert len(learned) >= 4
+        for item in learned:
+            assert item.segment.group_base % 64 == 0
+            assert item.segment.end_lpa - item.segment.start_lpa <= 63
+        verify_error_bound(learned, mappings, 4)
+        assert sorted(covered_lpas(learned)) == [lpa for lpa, _ in mappings]

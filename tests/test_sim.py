@@ -1,0 +1,313 @@
+"""Tests for the event-driven simulation engine.
+
+Covers three layers:
+
+* the event loop itself (deterministic ordering of same-timestamp events);
+* the NAND scheduler (bus vs die timing models);
+* the full device: the event engine at ``queue_depth = 1`` must reproduce
+  the synchronous simulator bit-for-bit, and at higher depths foreground
+  reads must be measurably delayed by concurrent flush/GC traffic while
+  the replay makespan shrinks.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import SSDConfig
+from repro.sim.events import EventLoop
+from repro.sim.frontend import HostFrontend, interleave_streams
+from repro.sim.nand import NANDScheduler
+from repro.ssd.ssd import SSDOptions
+from tests.conftest import make_ssd
+
+
+class TestEventLoop:
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        for time_us in (30.0, 10.0, 20.0):
+            loop.schedule(time_us, "tick", lambda e: fired.append(e.time_us))
+        loop.run()
+        assert fired == [10.0, 20.0, 30.0]
+        assert loop.now_us == 30.0
+        assert loop.events_processed == 3
+
+    def test_same_timestamp_events_fire_in_schedule_order(self):
+        loop = EventLoop()
+        fired = []
+        for tag in ("a", "b", "c", "d"):
+            loop.schedule(5.0, tag, lambda e: fired.append(e.kind))
+        loop.run()
+        assert fired == ["a", "b", "c", "d"]
+
+    def test_priority_breaks_timestamp_ties(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(5.0, "late", lambda e: fired.append(e.kind), priority=1)
+        loop.schedule(5.0, "early", lambda e: fired.append(e.kind), priority=-1)
+        loop.run()
+        assert fired == ["early", "late"]
+
+    def test_scheduling_in_the_past_clamps_to_now(self):
+        loop = EventLoop(start_us=100.0)
+        fired = []
+        loop.schedule(1.0, "stale", lambda e: fired.append(e.time_us))
+        loop.run()
+        assert fired == [100.0]
+        assert loop.now_us == 100.0
+
+    def test_events_scheduled_from_callbacks_interleave(self):
+        loop = EventLoop()
+        fired = []
+
+        def chain(event):
+            fired.append((event.kind, event.time_us))
+            if len(fired) < 3:
+                loop.schedule(event.time_us + 10.0, f"gen{len(fired)}", chain)
+
+        loop.schedule(0.0, "gen0", chain)
+        loop.schedule(15.0, "other", lambda e: fired.append(("other", e.time_us)))
+        loop.run()
+        assert fired == [
+            ("gen0", 0.0),
+            ("gen1", 10.0),
+            ("other", 15.0),
+            ("gen2", 20.0),
+        ]
+
+    def test_cancelled_events_do_not_fire(self):
+        loop = EventLoop()
+        fired = []
+        event = loop.schedule(1.0, "dead", lambda e: fired.append(e.kind))
+        loop.schedule(2.0, "live", lambda e: fired.append(e.kind))
+        event.cancel()
+        loop.run()
+        assert fired == ["live"]
+
+    def test_run_until_leaves_future_events_pending(self):
+        loop = EventLoop()
+        loop.schedule(1.0, "soon")
+        loop.schedule(100.0, "later")
+        processed = loop.run(until_us=50.0)
+        assert processed == 1
+        assert loop.pending == 1
+
+    def test_run_until_respects_bound_past_cancelled_head(self):
+        loop = EventLoop()
+        head = loop.schedule(10.0, "dead")
+        loop.schedule(100.0, "later")
+        head.cancel()
+        processed = loop.run(until_us=50.0)
+        # The cancelled head must not let the later event slip past the bound.
+        assert processed == 0
+        assert loop.now_us <= 50.0
+        assert loop.pending == 1
+
+
+class TestNANDScheduler:
+    def test_bus_reservations_serialize_per_channel(self):
+        sched = NANDScheduler(channels=2)
+        assert sched.reserve(0, 0.0, 10.0) == 10.0
+        assert sched.reserve(0, 0.0, 10.0) == 20.0   # queued behind the first
+        assert sched.reserve(1, 0.0, 10.0) == 10.0   # other channel is free
+        assert sched.busy_until(0) == 20.0
+
+    def test_bus_model_ignores_die_conflicts(self):
+        sched = NANDScheduler(channels=1, dies_per_channel=2, timing_model="bus")
+        first = sched.reserve(0, 0.0, 5.0, die=0, cell_us=200.0)
+        second = sched.reserve(0, 0.0, 5.0, die=0, cell_us=200.0)
+        # Only the bus constrains: back-to-back despite the shared die.
+        assert (first, second) == (5.0, 10.0)
+        assert sched.die_busy_until(0, 0) == 205.0
+
+    def test_die_model_serializes_cell_operations(self):
+        sched = NANDScheduler(channels=1, dies_per_channel=2, timing_model="die")
+        sched.reserve(0, 0.0, 5.0, die=0, cell_us=200.0)
+        # A different die only waits for the bus transfer of the first op.
+        other_die = sched.reserve(0, 0.0, 5.0, die=1, cell_us=200.0)
+        assert other_die == 10.0
+        # The same die waits for the first cell operation to finish.
+        same_die = sched.reserve(0, 0.0, 5.0, die=0, cell_us=200.0)
+        assert same_die == 205.0
+
+    def test_utilization_tracks_bus_time(self):
+        sched = NANDScheduler(channels=1)
+        sched.reserve(0, 0.0, 25.0)
+        assert sched.channel_utilization(0, 100.0) == pytest.approx(0.25)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            NANDScheduler(channels=0)
+        with pytest.raises(ValueError):
+            NANDScheduler(channels=1, timing_model="warp")
+
+
+def _mixed_requests(seed: int, count: int, footprint: int):
+    rng = random.Random(seed)
+    requests = []
+    for _ in range(count):
+        start = rng.randrange(footprint)
+        if rng.random() < 0.4:
+            requests.append(("W", start, rng.randint(1, 32)))
+        else:
+            requests.append(("R", start, rng.randint(1, 8)))
+    return requests
+
+
+#: Device used by the engine tests: small enough that the fill +
+#: overwrite passes of the contended workload push it past the GC
+#: threshold, so flush *and* GC traffic are both in play.
+_CONTENDED_CONFIG = SSDConfig.tiny(capacity_bytes=128 * 1024 * 1024)
+_CONTENDED_FOOTPRINT = 28_000
+
+
+def _contended_workload(footprint: int = _CONTENDED_FOOTPRINT):
+    """A fill pass + half-stride overwrites (activates GC), then a mix."""
+    fill = [("W", lpa, 64) for lpa in range(0, footprint, 64)]
+    overwrite = [("W", lpa, 64) for lpa in range(0, footprint, 128)]
+    return fill + overwrite + _mixed_requests(7, 2500, footprint)
+
+
+def _stats_signature(ssd):
+    stats = ssd.stats
+    return (
+        stats.read_latency.count,
+        stats.read_latency.total_us,
+        stats.read_latency.max_us,
+        stats.write_latency.count,
+        stats.write_latency.total_us,
+        stats.data_page_writes,
+        stats.gc_page_reads,
+        stats.gc_page_writes,
+        stats.gc_invocations,
+        stats.gc_block_erases,
+        stats.buffer_flushes,
+        stats.buffer_hits,
+        stats.cache_hits,
+        stats.mispredictions,
+        stats.misprediction_extra_reads,
+        stats.read_stall_us,
+        stats.simulated_time_us,
+        ssd.flash.counters.page_reads,
+        ssd.flash.counters.page_writes,
+        ssd.flash.counters.block_erases,
+    )
+
+
+class TestEngineEquivalence:
+    def test_event_engine_at_depth_one_matches_serial_exactly(self):
+        """Acceptance: queue_depth=1 events == synchronous, stat for stat."""
+        requests = _contended_workload()
+        serial = make_ssd(
+            gamma=4, config=_CONTENDED_CONFIG, options=SSDOptions(engine="serial")
+        )
+        serial.run(requests)
+        events = make_ssd(
+            gamma=4,
+            config=_CONTENDED_CONFIG,
+            options=SSDOptions(engine="events", queue_depth=1),
+        )
+        events.run(requests)
+        assert _stats_signature(serial) == _stats_signature(events)
+        # The event engine really ran through the loop.
+        assert events.stats.events_processed > 0
+        assert serial.stats.events_processed == 0
+
+    def test_auto_engine_picks_serial_at_depth_one(self):
+        ssd = make_ssd()
+        ssd.run(_mixed_requests(1, 200, 5000))
+        assert ssd.stats.events_processed == 0
+
+    def test_gc_active_during_equivalence_workload(self):
+        """The equivalence test must exercise flush + GC, not just reads."""
+        ssd = make_ssd(gamma=4, config=_CONTENDED_CONFIG)
+        ssd.run(_contended_workload())
+        assert ssd.stats.gc_invocations > 0
+        assert ssd.stats.buffer_flushes > 0
+
+
+class TestQueueDepthContention:
+    def _run_at_depth(self, depth: int):
+        ssd = make_ssd(
+            gamma=4,
+            config=_CONTENDED_CONFIG,
+            options=SSDOptions(queue_depth=depth),
+        )
+        ssd.run(_contended_workload())
+        return ssd
+
+    def test_deeper_queues_delay_foreground_reads(self):
+        """Acceptance: reads at depth > 1 stall behind concurrent GC/flush."""
+        shallow = self._run_at_depth(1)
+        deep = self._run_at_depth(8)
+        # Same logical work...
+        assert deep.stats.host_reads == shallow.stats.host_reads
+        assert deep.stats.data_page_writes == shallow.stats.data_page_writes
+        # ...but reads queue behind overlapping background traffic.
+        assert deep.stats.read_stall_us > shallow.stats.read_stall_us * 2
+        assert (
+            deep.stats.read_latency.mean_us > shallow.stats.read_latency.mean_us
+        )
+        # Overlap shortens the replay makespan (throughput gain).
+        assert deep.stats.simulated_time_us < shallow.stats.simulated_time_us
+        # The frontend really kept 8 requests outstanding.
+        assert deep.stats.max_outstanding_requests == 8
+        # Background flush/GC completions were observed by the loop.
+        assert deep.stats.background_completions > 0
+
+    def test_queue_depth_clamped_to_device_ncq(self):
+        from repro.config import SSDConfig
+
+        config = SSDConfig.tiny(ncq_depth=4)
+        ssd = make_ssd(config=config, options=SSDOptions(queue_depth=64))
+        assert ssd.effective_queue_depth == 4
+
+    def test_event_replay_is_deterministic(self):
+        first = self._run_at_depth(8)
+        second = self._run_at_depth(8)
+        assert _stats_signature(first) == _stats_signature(second)
+
+
+class TestHostFrontend:
+    class _RecordingDevice:
+        """Fixed-latency device that records issue times."""
+
+        def __init__(self, latency_us: float = 10.0):
+            self.latency_us = latency_us
+            self.issues = []
+
+        def submit(self, op, lpa, npages, at_us):
+            self.issues.append((at_us, op, lpa))
+            return at_us + self.latency_us
+
+    def test_depth_one_is_serial(self):
+        device = self._RecordingDevice()
+        loop = EventLoop()
+        frontend = HostFrontend(device, loop, queue_depth=1)
+        stats = frontend.run([("R", lpa, 1) for lpa in range(4)])
+        assert [t for t, _, _ in device.issues] == [0.0, 10.0, 20.0, 30.0]
+        assert stats.submitted == stats.completed == 4
+        assert stats.max_outstanding == 1
+
+    def test_depth_n_overlaps_requests(self):
+        device = self._RecordingDevice()
+        loop = EventLoop()
+        frontend = HostFrontend(device, loop, queue_depth=2)
+        stats = frontend.run([("R", lpa, 1) for lpa in range(4)])
+        # Two admitted at t=0, the next two at the first completions.
+        assert [t for t, _, _ in device.issues] == [0.0, 0.0, 10.0, 10.0]
+        assert stats.max_outstanding == 2
+        assert stats.finished_at_us == 20.0
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(ValueError):
+            HostFrontend(self._RecordingDevice(), EventLoop(), queue_depth=0)
+
+    def test_interleave_streams_round_robins(self):
+        a = [("R", 0, 1), ("R", 1, 1), ("R", 2, 1)]
+        b = [("W", 10, 1)]
+        merged = list(interleave_streams(a, b))
+        assert merged == [("R", 0, 1), ("W", 10, 1), ("R", 1, 1), ("R", 2, 1)]
