@@ -14,6 +14,8 @@ shows the reproduced numbers next to the timing measurements.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.experiments.common import ExperimentSetup, bench_scale
@@ -25,7 +27,17 @@ CORE_WORKLOADS = CORE_SIMULATOR_WORKLOADS + CORE_DATABASE_WORKLOADS
 
 
 def perf_setup(**overrides: object) -> ExperimentSetup:
-    """Performance-measurement setup (warm-up enabled, small device)."""
+    """Performance-measurement setup (warm-up enabled, small device).
+
+    Replay admission is configurable from the environment so every
+    performance figure (16/17/18, ...) can be regenerated under open-loop
+    (timestamped) replay without code changes::
+
+        REPRO_REPLAY_MODE=open REPRO_TIME_SCALE=1.0 pytest benchmarks/...
+
+    Open-loop runs admit requests at their (stamped) arrival times, so the
+    latencies include the time requests waited for a saturated device.
+    """
     defaults = dict(
         capacity_bytes=512 * 1024 * 1024,
         dram_bytes=256 * 1024,
@@ -33,6 +45,8 @@ def perf_setup(**overrides: object) -> ExperimentSetup:
         request_scale=0.08 * bench_scale(),
         footprint_scale=0.35,
         compaction_interval_writes=100_000,
+        replay_mode=os.environ.get("REPRO_REPLAY_MODE", "closed"),
+        time_scale=float(os.environ.get("REPRO_TIME_SCALE", "1.0")),
     )
     defaults.update(overrides)
     return ExperimentSetup(**defaults)  # type: ignore[arg-type]

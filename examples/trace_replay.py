@@ -39,10 +39,22 @@ def main() -> None:
     parser.add_argument("--scale", type=float, default=0.1)
     parser.add_argument("--max-requests", type=int, default=50_000)
     parser.add_argument("--no-warmup", action="store_true")
+    parser.add_argument("--open-loop", action="store_true",
+                        help="admit requests at their trace timestamps instead "
+                             "of completion-driven (closed-loop) replay")
+    parser.add_argument("--time-scale", type=float, default=1.0,
+                        help="multiplier on inter-arrival times in open-loop "
+                             "replay (0.5 doubles the arrival rate)")
+    parser.add_argument("--interarrival-us", type=float, default=20.0,
+                        help="arrival spacing stamped onto synthetic traces "
+                             "when replaying open-loop")
     args = parser.parse_args()
 
     setup = ExperimentSetup(gamma=args.gamma, request_scale=args.scale,
-                            warmup=not args.no_warmup)
+                            warmup=not args.no_warmup,
+                            replay_mode="open" if args.open_loop else "closed",
+                            time_scale=args.time_scale,
+                            open_loop_interarrival_us=args.interarrival_us)
 
     if args.trace:
         trace = parse_msr_trace(args.trace, name=args.trace,
@@ -59,8 +71,11 @@ def main() -> None:
     if setup.warmup:
         print("warming up the device ...")
         warmup_ssd(ssd, setup)
-    print(f"replaying through {args.ftl} ...")
-    stats = ssd.run(trace.as_tuples())
+    if args.open_loop and not trace.has_timestamps():
+        trace = trace.with_interarrival(setup.open_loop_interarrival_us)
+    mode = "open-loop" if args.open_loop else "closed-loop"
+    print(f"replaying through {args.ftl} ({mode}) ...")
+    stats = ssd.run(trace)
 
     rows = [
         ["mean read latency (us)", round(stats.read_latency.mean_us, 1)],
@@ -72,7 +87,10 @@ def main() -> None:
         ["misprediction ratio", f"{100 * stats.misprediction_ratio:.2f}%"],
         ["GC invocations", stats.gc_invocations],
         ["simulated time (s)", round(stats.simulated_time_us / 1e6, 2)],
+        ["clipped pages", stats.clipped_pages],
     ]
+    if args.open_loop:
+        rows.append(["max outstanding (backlog)", stats.max_outstanding_requests])
     print_report(render_table(["metric", "value"], rows,
                               title=f"{trace.name} on {args.ftl}"))
 

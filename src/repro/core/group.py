@@ -188,6 +188,39 @@ class LPAGroup:
                 )
         return GroupLookup(ppa=None, levels_searched=len(self._levels))
 
+    def lookup_range(self, start_lpa: int, end_lpa: int) -> List[GroupLookup]:
+        """Resolve every LPA of ``[start_lpa, end_lpa]`` with one level walk.
+
+        Equivalent to calling :meth:`lookup` per page but each level is
+        visited once for the whole run: the segments intersecting the range
+        are located with one binary search per level, and every LPA they
+        encode resolves at that depth.  Pages still unresolved continue to
+        the next level, so newer (higher-level) segments shadow older ones
+        exactly as in the per-page walk.
+        """
+        if end_lpa < start_lpa:
+            raise ValueError("end_lpa must not precede start_lpa")
+        count = end_lpa - start_lpa + 1
+        results: List[Optional[GroupLookup]] = [None] * count
+        unresolved = count
+        for depth, level in enumerate(self._levels, start=1):
+            if unresolved == 0:
+                break
+            for segment in level.overlapping(start_lpa, end_lpa):
+                low = max(segment.start_lpa, start_lpa)
+                high = min(segment.end_lpa, end_lpa)
+                for lpa in range(low, high + 1):
+                    index = lpa - start_lpa
+                    if results[index] is None and self.has_lpa(segment, lpa):
+                        results[index] = GroupLookup(
+                            ppa=segment.predict(lpa),
+                            levels_searched=depth,
+                            segment=segment,
+                        )
+                        unresolved -= 1
+        miss = GroupLookup(ppa=None, levels_searched=len(self._levels))
+        return [result if result is not None else miss for result in results]
+
     # ------------------------------------------------------------------ #
     # Compaction (Algorithm 1, seg_compact)
     # ------------------------------------------------------------------ #

@@ -22,7 +22,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.config import LeaFTLConfig
 from repro.core.group import GroupLookup, LPAGroup
 from repro.core.plr import LearnedSegment, PLRLearner
-from repro.core.segment import SEGMENT_BYTES, Segment, group_base_of
+from repro.core.segment import Segment, group_base_of
 
 
 @dataclass
@@ -40,6 +40,40 @@ class LookupResult:
     @property
     def approximate(self) -> bool:
         return self.segment is not None and not self.segment.accurate
+
+
+def iter_resolution_runs(
+    results: Sequence[LookupResult],
+    start_lpa: int = 0,
+    group_size: Optional[int] = None,
+) -> Iterable[Tuple[int, int, Optional[Segment], int]]:
+    """Group consecutive lookup results by the segment that resolved them.
+
+    Yields ``(start, stop, segment, depth)`` per run: a maximal stretch
+    ``results[start:stop]`` sharing one segment identity (misses —
+    ``segment is None`` — form runs of their own) and the deepest level any
+    page of the run searched.  This is the unit the batched range lookup
+    charges statistics at: one segment resolution serves the whole run.
+
+    When ``group_size`` is given (with ``start_lpa`` as the LPA of
+    ``results[0]``), runs additionally split at group boundaries: a miss
+    gap spanning two groups consulted two group structures and must charge
+    two resolutions.  Found runs never span groups — a segment lives
+    inside one group — so the split only affects misses.
+    """
+    index = 0
+    total = len(results)
+    while index < total:
+        segment = results[index].segment
+        depth = results[index].levels_searched
+        stop = index + 1
+        while stop < total and results[stop].segment is segment:
+            if group_size is not None and (start_lpa + stop) % group_size == 0:
+                break
+            depth = max(depth, results[stop].levels_searched)
+            stop += 1
+        yield index, stop, segment, depth
+        index = stop
 
 
 @dataclass
@@ -154,6 +188,53 @@ class LogStructuredMappingTable:
             levels_searched=levels,
             segment=result.segment,
         )
+
+    def lookup_range(self, start_lpa: int, npages: int) -> List[LookupResult]:
+        """Resolve the contiguous run ``[start_lpa, start_lpa + npages)``.
+
+        The run is split at group boundaries and each group resolves its
+        chunk with a single top-down level walk
+        (:meth:`repro.core.group.LPAGroup.lookup_range`), so a run covered
+        by one learned segment costs one segment resolution instead of one
+        full walk per page.
+
+        Statistics are charged per *resolution*, not per page: consecutive
+        pages served by the same segment (or forming one miss gap) count as
+        one lookup, whose levels-searched is the deepest level the run
+        needed.  An 8-page run covered by one segment therefore grows
+        ``stats.lookups`` by exactly 1.
+        """
+        if npages <= 0:
+            raise ValueError("npages must be positive")
+        results: List[LookupResult] = []
+        lpa = start_lpa
+        end = start_lpa + npages
+        group_size = self.config.group_size
+        while lpa < end:
+            group_base = group_base_of(lpa, group_size)
+            chunk_end = min(end, group_base + group_size)
+            group = self._groups.get(group_base)
+            if group is None:
+                results.extend(
+                    LookupResult(ppa=None, levels_searched=1)
+                    for _ in range(lpa, chunk_end)
+                )
+            else:
+                for found in group.lookup_range(lpa, chunk_end - 1):
+                    results.append(
+                        LookupResult(
+                            ppa=found.ppa,
+                            levels_searched=max(found.levels_searched, 1),
+                            segment=found.segment,
+                        )
+                    )
+            lpa = chunk_end
+        for _start, _stop, _segment, depth in iter_resolution_runs(
+            results, start_lpa, group_size
+        ):
+            self.stats.lookups += 1
+            self.stats.lookup_levels_total += depth
+        return results
 
     def exists(self, lpa: int) -> bool:
         """Membership test; charged to the lookup stats like any lookup."""

@@ -93,6 +93,15 @@ class ExperimentSetup:
     #: Host requests kept outstanding during replay (1 = the classic
     #: synchronous simulation; > 1 uses the event-driven engine).
     queue_depth: int = 1
+    #: Replay admission policy: ``"closed"`` (completion-driven, bounded by
+    #: ``queue_depth``) or ``"open"`` (requests admitted at their trace
+    #: timestamps — latency is measured against arrival times).
+    replay_mode: str = "closed"
+    #: Multiplier on trace inter-arrival times in open-loop replay.
+    time_scale: float = 1.0
+    #: Arrival spacing stamped onto timestamp-less (synthetic) traces when
+    #: they are replayed open-loop.
+    open_loop_interarrival_us: float = 20.0
     #: Random seed of the warm-up pattern.
     seed: int = 7
 
@@ -168,6 +177,8 @@ def build_ssd(scheme: str, setup: ExperimentSetup) -> SimulatedSSD:
     options = SSDOptions(
         sort_buffer_on_flush=setup.sort_buffer_on_flush,
         queue_depth=setup.queue_depth,
+        replay_mode=setup.replay_mode,
+        time_scale=setup.time_scale,
     )
     return SimulatedSSD(
         config=config,
@@ -251,14 +262,25 @@ def run_experiment(
     scheme: str,
     setup: Optional[ExperimentSetup] = None,
     trace: Optional[Trace] = None,
+    replay_mode: Optional[str] = None,
 ) -> ExperimentResult:
-    """Run one (workload, scheme) cell and collect every figure's inputs."""
+    """Run one (workload, scheme) cell and collect every figure's inputs.
+
+    ``replay_mode`` overrides ``setup.replay_mode``: ``"closed"`` replays
+    completion-driven at ``setup.queue_depth``; ``"open"`` admits requests
+    at their trace timestamps (timestamp-less synthetic traces are stamped
+    with ``setup.open_loop_interarrival_us`` first), so latency-under-load
+    is measured against arrival times.
+    """
     setup = setup or ExperimentSetup()
+    mode = setup.replay_mode if replay_mode is None else replay_mode
     ssd = build_ssd(scheme, setup)
     if setup.warmup:
         warmup_ssd(ssd, setup)
     replay = trace if trace is not None else workload_for_setup(workload, setup)
-    stats = ssd.run(replay.as_tuples())
+    if mode == "open":
+        replay = replay.with_interarrival(setup.open_loop_interarrival_us)
+    stats = ssd.run(replay, replay_mode=mode, time_scale=setup.time_scale)
 
     ftl = ssd.ftl
     result = ExperimentResult(
@@ -291,11 +313,14 @@ def run_schemes(
     workload: str,
     setup: Optional[ExperimentSetup] = None,
     schemes: Sequence[str] = SCHEMES,
+    replay_mode: Optional[str] = None,
 ) -> Dict[str, ExperimentResult]:
     """Run every scheme on one workload (shares the generated trace)."""
     setup = setup or ExperimentSetup()
     trace = workload_for_setup(workload, setup)
     return {
-        scheme: run_experiment(workload, scheme, setup, trace=trace)
+        scheme: run_experiment(
+            workload, scheme, setup, trace=trace, replay_mode=replay_mode
+        )
         for scheme in schemes
     }

@@ -126,22 +126,58 @@ def latency_distribution(
     schemes: Sequence[str] = SCHEMES,
     points: Sequence[float] = (0.0, 30.0, 60.0, 90.0, 99.0, 99.9),
     queue_depth: Optional[int] = None,
+    replay_mode: Optional[str] = None,
 ) -> Dict[str, Dict[float, float]]:
     """scheme -> CDF point -> read latency in microseconds (Figure 18).
 
     ``queue_depth > 1`` replays through the event-driven engine, so the CDF
     reflects foreground reads contending with background flush/GC traffic
     and with each other — the regime the paper's tail-latency figure
-    describes.
+    describes.  ``replay_mode="open"`` admits requests at their trace
+    timestamps instead (stamped at ``setup.open_loop_interarrival_us`` for
+    synthetic traces), so the CDF measures latency against arrival times.
     """
     setup = setup or performance_setup()
     if queue_depth is not None:
         setup = setup.scaled(queue_depth=queue_depth)
-    results = run_schemes(workload, setup, schemes)
+    results = run_schemes(workload, setup, schemes, replay_mode=replay_mode)
     return {
         scheme: latency_cdf(result.latency_samples, points)
         for scheme, result in results.items()
     }
+
+
+def open_loop_load_sweep(
+    workload: str = "OLTP",
+    interarrivals_us: Sequence[float] = (80.0, 40.0, 20.0, 10.0, 5.0),
+    setup: Optional[ExperimentSetup] = None,
+    scheme: str = "LeaFTL",
+) -> Dict[float, Dict[str, float]]:
+    """inter-arrival time -> latency/backlog metrics under open-loop replay.
+
+    Each column replays the same trace with arrivals stamped at a fixed
+    spacing: tighter spacing means a higher offered load.  Because
+    admission is arrival-driven (not completion-driven), latency measured
+    against arrival time grows without bound once the offered load exceeds
+    the device's service rate — ``max_outstanding`` shows how deep the
+    backlog got.
+    """
+    base = setup or performance_setup()
+    table: Dict[float, Dict[str, float]] = {}
+    for interarrival in interarrivals_us:
+        run_setup = base.scaled(
+            replay_mode="open", open_loop_interarrival_us=interarrival
+        )
+        result = run_experiment(workload, scheme, run_setup)
+        stats = result.stats
+        table[interarrival] = {
+            "read_mean_us": result.read_mean_latency_us,
+            "read_p99_us": result.read_p99_us,
+            "read_stall_us": stats.read_stall_us,
+            "measured_time_us": stats.measured_time_us,
+            "max_outstanding": float(stats.max_outstanding_requests),
+        }
+    return table
 
 
 def queue_depth_sweep(

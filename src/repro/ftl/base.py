@@ -8,10 +8,36 @@ to the FTL through this interface:
 * :meth:`FTL.translate` resolves an LPA to a PPA for the read path, and
   reports any flash accesses the resolution itself required (translation
   page fetches in DFTL/SFTL, out-of-band corrections in LeaFTL);
+* :meth:`FTL.translate_range` resolves a *contiguous run* of LPAs — the
+  page span of one multi-page host command — in a single batch;
 * :meth:`FTL.update_batch` records a batch of freshly programmed
   ``(LPA, PPA)`` mappings after a write-buffer flush or a GC migration;
 * :meth:`FTL.resident_bytes` / :meth:`FTL.full_mapping_bytes` report the
   DRAM footprint, which drives the data-cache sizing.
+
+The ``translate_range`` contract
+--------------------------------
+
+``translate_range(lpa, npages)`` returns one :class:`TranslationResult`
+per page of ``[lpa, lpa + npages)``, in LPA order, and must resolve the
+run against the *same* mapping state ``translate`` would see (page ``i``'s
+result may not reflect updates applied after the call began).  What makes
+it more than a convenience loop is the accounting contract:
+
+* ``stats.lookups`` is charged **once per mapping-structure resolution**,
+  not once per page: one learned-segment walk that covers the whole run
+  (LeaFTL), one translation-page visit that serves every entry on that
+  page (DFTL/SFTL), one table probe for the whole run (PageMapFTL).
+  A contiguous 8-page read served by a single learned segment therefore
+  grows ``stats.lookups`` by 1, not 8.
+* translation-page flash traffic is batched the same way: a DFTL/SFTL
+  run that misses on a translation page charges **one**
+  ``translation_page_reads`` for all of its entries in the run, plus
+  whatever dirty evictions the admission forced.
+
+The abstract base provides a per-page fallback so third-party FTLs keep
+working; every built-in FTL overrides it with a genuinely batched
+implementation.
 """
 
 from __future__ import annotations
@@ -86,6 +112,18 @@ class FTL(abc.ABC):
     @abc.abstractmethod
     def translate(self, lpa: int) -> TranslationResult:
         """Resolve ``lpa`` to a physical page address for the read path."""
+
+    def translate_range(self, lpa: int, npages: int) -> List[TranslationResult]:
+        """Resolve the contiguous run ``[lpa, lpa + npages)`` in one batch.
+
+        Returns one :class:`TranslationResult` per page, in LPA order.  See
+        the module docstring for the accounting contract; this fallback
+        simply loops :meth:`translate` (per-page charging), and every
+        built-in FTL overrides it with a batched resolution.
+        """
+        if npages <= 0:
+            raise ValueError("npages must be positive")
+        return [self.translate(lpa + offset) for offset in range(npages)]
 
     @abc.abstractmethod
     def update_batch(self, mappings: Sequence[Tuple[int, int]]) -> None:

@@ -20,7 +20,7 @@ This is the primary memory-footprint baseline of the LeaFTL evaluation.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import DFTLConfig
 from repro.ftl.base import FTL, TranslationResult
@@ -133,6 +133,54 @@ class DFTL(FTL):
             translation_flash_reads=1 + extra_reads,
             translation_flash_writes=extra_writes,
         )
+
+    def translate_range(self, lpa: int, npages: int) -> List[TranslationResult]:
+        """Resolve a contiguous run, one translation-page visit per chunk.
+
+        The run is split at translation-page boundaries; within a chunk a
+        single CMT miss fetches the translation page once and that fetch
+        serves *every* missing entry of the chunk (they live on the same
+        flash page), so an N-page run on one translation page costs at most
+        one ``translation_page_reads`` instead of N.  ``stats.lookups`` is
+        charged once per chunk.  Evictions run once per chunk, after the
+        fetched entries are installed.
+        """
+        if npages <= 0:
+            raise ValueError("npages must be positive")
+        results: List[TranslationResult] = []
+        per_tp = self._config.entries_per_translation_page
+        start = lpa
+        end = lpa + npages
+        while start < end:
+            tp = self._translation_page_of(start)
+            chunk_end = min(end, (tp + 1) * per_tp)
+            self.stats.lookups += 1
+            fetched = False
+            for page in range(start, chunk_end):
+                if page in self._cmt:
+                    ppa, _dirty = self._cmt[page]
+                    self._touch(page)
+                    results.append(TranslationResult(ppa=ppa))
+                elif page not in self._flash_table:
+                    results.append(TranslationResult(ppa=None))
+                else:
+                    ppa = self._flash_table[page]
+                    first_miss = not fetched
+                    if first_miss:
+                        fetched = True
+                        self.stats.translation_page_reads += 1
+                    self._cmt[page] = (ppa, False)
+                    self._touch(page)
+                    results.append(
+                        TranslationResult(
+                            ppa=ppa,
+                            translation_flash_reads=1 if first_miss else 0,
+                        )
+                    )
+            if fetched:
+                self._evict_if_needed()
+            start = chunk_end
+        return results
 
     def update_batch(self, mappings: Sequence[Tuple[int, int]]) -> None:
         for lpa, ppa in mappings:

@@ -9,7 +9,7 @@ as ground truth in tests and as the denominator in memory-reduction figures.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.ftl.base import FTL, TranslationResult
 
@@ -32,6 +32,21 @@ class PageLevelFTL(FTL):
     def translate(self, lpa: int) -> TranslationResult:
         self.stats.lookups += 1
         return TranslationResult(ppa=self._table.get(lpa))
+
+    def translate_range(self, lpa: int, npages: int) -> List[TranslationResult]:
+        """Resolve a contiguous run with one probe of the flat table.
+
+        The fully-resident table needs no per-page structure walks, so the
+        whole run counts as a single lookup — the batched lower bound every
+        other scheme is compared against.
+        """
+        if npages <= 0:
+            raise ValueError("npages must be positive")
+        self.stats.lookups += 1
+        return [
+            TranslationResult(ppa=self._table.get(page))
+            for page in range(lpa, lpa + npages)
+        ]
 
     def update_batch(self, mappings: Sequence[Tuple[int, int]]) -> None:
         for lpa, ppa in mappings:

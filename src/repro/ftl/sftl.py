@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.config import SFTLConfig
 from repro.ftl.base import FTL, TranslationResult
@@ -184,6 +184,51 @@ class SFTL(FTL):
             translation_flash_reads=reads,
             translation_flash_writes=writes,
         )
+
+    def translate_range(self, lpa: int, npages: int) -> List[TranslationResult]:
+        """Resolve a contiguous run, one condensed-page admission per chunk.
+
+        The run is split at translation-page boundaries; the first mapped
+        entry of a chunk admits its condensed translation page (one flash
+        read on a cache miss) and that page then serves every other entry of
+        the chunk for free.  ``stats.lookups`` is charged once per chunk.
+        """
+        if npages <= 0:
+            raise ValueError("npages must be positive")
+        results: List[TranslationResult] = []
+        start = lpa
+        end = lpa + npages
+        while start < end:
+            tp_id = self._tp_of(start)
+            chunk_end = min(end, (tp_id + 1) * self._entries_per_tp)
+            self.stats.lookups += 1
+            page = self._pages.get(tp_id)
+            admitted = False
+            for entry in range(start, chunk_end):
+                if page is None or entry not in page.entries:
+                    results.append(TranslationResult(ppa=None))
+                    continue
+                reads = 0
+                writes = 0
+                if not admitted:
+                    admitted = True
+                    if tp_id not in self._cached:
+                        reads += 1
+                        self.stats.translation_page_reads += 1
+                        extra_reads, extra_writes = self._admit(tp_id, dirty=False)
+                        reads += extra_reads
+                        writes += extra_writes
+                    else:
+                        self._cached.move_to_end(tp_id)
+                results.append(
+                    TranslationResult(
+                        ppa=page.entries[entry],
+                        translation_flash_reads=reads,
+                        translation_flash_writes=writes,
+                    )
+                )
+            start = chunk_end
+        return results
 
     def update_batch(self, mappings: Sequence[Tuple[int, int]]) -> None:
         touched: Set[int] = set()

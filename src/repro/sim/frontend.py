@@ -1,9 +1,13 @@
-"""The host frontend: NCQ-style request admission at a configurable depth.
+"""Host frontends: how trace requests are admitted into the device.
 
-Real hosts do not wait for a request to complete before sending the next
-one — they keep up to ``queue_depth`` commands outstanding (SATA NCQ: 32,
-NVMe: far more).  The frontend models that closed-loop behaviour on top of
-the event loop:
+Two admission policies are modelled on top of the event loop, both
+consuming :class:`repro.workloads.trace.IORequest` objects (bare
+``(op, lpa, npages)`` tuples are coerced for backward compatibility):
+
+**Closed loop** (:class:`HostFrontend`) — NCQ-style depth-bounded
+admission.  Real hosts do not wait for a request to complete before
+sending the next one; they keep up to ``queue_depth`` commands outstanding
+(SATA NCQ: 32, NVMe: far more):
 
 1. the first ``queue_depth`` trace requests are admitted immediately;
 2. each admitted request is issued to the device at its admission time; the
@@ -13,6 +17,14 @@ the event loop:
    synchronous simulation, and with depth N foreground requests genuinely
    overlap each other and the background flush/GC traffic their
    predecessors triggered.
+
+**Open loop** (:class:`OpenLoopFrontend`) — timestamped arrival-driven
+admission, the trace-replay methodology WiscSee-style simulators use.
+Each request is admitted at its recorded arrival time (relative to the
+trace's first timestamp, scaled by ``time_scale``) *whether or not* earlier
+requests have completed, so the number outstanding is a measurement — how
+far the device falls behind the arrival process — rather than a knob, and
+request latency is measured against arrival times.
 
 The device is duck-typed: anything with
 ``submit(op, lpa, npages, at_us) -> finish_us`` works.
@@ -24,8 +36,9 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Tuple
 
 from repro.sim.events import Event, EventLoop
+from repro.workloads.trace import IORequest, ReplayItem, as_request
 
-#: One host request: ("R" | "W", first LPA, page count).
+#: Legacy alias: one host request as a bare tuple.
 Request = Tuple[str, int, int]
 
 
@@ -49,7 +62,7 @@ class HostFrontend:
         self._device = device
         self._loop = loop
         self._queue_depth = queue_depth
-        self._source: Optional[Iterator[Request]] = None
+        self._source: Optional[Iterator[ReplayItem]] = None
         self._outstanding = 0
         self.stats = FrontendStats()
 
@@ -64,7 +77,7 @@ class HostFrontend:
     # ------------------------------------------------------------------ #
     # Replay
     # ------------------------------------------------------------------ #
-    def run(self, requests: Iterable[Request]) -> FrontendStats:
+    def run(self, requests: Iterable[ReplayItem]) -> FrontendStats:
         """Replay ``requests`` to completion; returns the frontend stats."""
         self._source = iter(requests)
         for _ in range(self._queue_depth):
@@ -78,19 +91,23 @@ class HostFrontend:
     # ------------------------------------------------------------------ #
     def _admit(self, at_us: float) -> bool:
         assert self._source is not None
-        request = next(self._source, None)
-        if request is None:
+        item = next(self._source, None)
+        if item is None:
             return False
-        self._loop.schedule(at_us, "request_issue", self._issue, payload=request)
+        self._loop.schedule(
+            at_us, "request_issue", self._issue, payload=as_request(item)
+        )
         return True
 
     def _issue(self, event: Event) -> None:
-        op, lpa, npages = event.payload  # type: ignore[misc]
+        request: IORequest = event.payload  # type: ignore[assignment]
         self._outstanding += 1
         self.stats.submitted += 1
         if self._outstanding > self.stats.max_outstanding:
             self.stats.max_outstanding = self._outstanding
-        finish = self._device.submit(op, lpa, npages, at_us=event.time_us)
+        finish = self._device.submit(
+            request.op, request.lpa, request.npages, at_us=event.time_us
+        )
         self._loop.schedule(finish, "request_complete", self._complete)
 
     def _complete(self, event: Event) -> None:
@@ -99,6 +116,91 @@ class HostFrontend:
         if event.time_us > self.stats.finished_at_us:
             self.stats.finished_at_us = event.time_us
         self._admit(event.time_us)
+
+
+class OpenLoopFrontend:
+    """Admits each trace request at its (scaled) arrival timestamp.
+
+    Arrival times are taken relative to the trace's first timestamp and
+    anchored at the loop's current time, so a replay that follows a warm-up
+    phase starts its arrival process at the present.  Requests whose
+    timestamps are all zero (synthetic traces, bare tuples) degenerate to
+    simultaneous arrival — stamp them first with
+    :meth:`repro.workloads.trace.Trace.with_interarrival`.
+
+    Same-timestamp arrivals are issued in trace order (the event loop is
+    schedule-order stable), which keeps open-loop replay deterministic.
+    """
+
+    def __init__(self, device, loop: EventLoop, time_scale: float = 1.0) -> None:
+        if time_scale <= 0.0:
+            raise ValueError("time_scale must be positive")
+        self._device = device
+        self._loop = loop
+        self._time_scale = time_scale
+        self._source: Optional[Iterator[ReplayItem]] = None
+        self._origin_us = 0.0
+        self._first_timestamp: Optional[float] = None
+        self._outstanding = 0
+        self.stats = FrontendStats()
+
+    @property
+    def time_scale(self) -> float:
+        return self._time_scale
+
+    @property
+    def outstanding(self) -> int:
+        return self._outstanding
+
+    def run(self, requests: Iterable[ReplayItem]) -> FrontendStats:
+        """Replay ``requests`` to completion; returns the frontend stats.
+
+        Admission streams from the iterator: each arrival event schedules
+        the next one, so only one pending arrival lives in the heap at a
+        time — a full-trace replay does not materialise millions of events
+        up front.  Arrivals are admitted in trace order; a non-monotone
+        timestamp is clamped to the previous arrival (the event loop never
+        runs backwards).
+        """
+        self._source = iter(requests)
+        self._origin_us = self._loop.now_us
+        self._schedule_next_arrival()
+        self._loop.run()
+        return self.stats
+
+    def _schedule_next_arrival(self) -> None:
+        assert self._source is not None
+        item = next(self._source, None)
+        if item is None:
+            return
+        request = as_request(item)
+        if self._first_timestamp is None:
+            self._first_timestamp = request.timestamp_us
+        offset = max(0.0, request.timestamp_us - self._first_timestamp)
+        self._loop.schedule(
+            self._origin_us + offset * self._time_scale,
+            "request_arrival",
+            self._issue,
+            payload=request,
+        )
+
+    def _issue(self, event: Event) -> None:
+        request: IORequest = event.payload  # type: ignore[assignment]
+        self._outstanding += 1
+        self.stats.submitted += 1
+        if self._outstanding > self.stats.max_outstanding:
+            self.stats.max_outstanding = self._outstanding
+        finish = self._device.submit(
+            request.op, request.lpa, request.npages, at_us=event.time_us
+        )
+        self._loop.schedule(finish, "request_complete", self._complete)
+        self._schedule_next_arrival()
+
+    def _complete(self, event: Event) -> None:
+        self._outstanding -= 1
+        self.stats.completed += 1
+        if event.time_us > self.stats.finished_at_us:
+            self.stats.finished_at_us = event.time_us
 
 
 def interleave_streams(*streams: Iterable[Request]) -> Iterator[Request]:

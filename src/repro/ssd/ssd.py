@@ -24,6 +24,15 @@ validity table plays in real firmware) that is used **only** to maintain
 flash page validity for GC — never to answer host reads; reads always go
 through the FTL under test.
 
+Host commands are multi-page natively: a read spanning several pages is
+translated in one :meth:`repro.ftl.base.FTL.translate_range` batch (one
+learned-segment walk resolves a whole contiguous run in LeaFTL, one
+translation-page fetch serves all its entries in DFTL/SFTL) and its flash
+accesses are issued as per-channel chunks that proceed concurrently
+through the NAND scheduler.  Single-page requests take the pre-batching
+code path unchanged, which keeps single-page replay bit-exact across the
+refactor.
+
 Two replay engines are available (``SSDOptions.engine``):
 
 * the **synchronous fast path** replays requests one at a time, each issued
@@ -35,6 +44,13 @@ Two replay engines are available (``SSDOptions.engine``):
   triggered.  With ``queue_depth = 1`` the two engines produce identical
   latencies and statistics (regression-tested); higher depths expose the
   channel contention behind Figure 18's tail latencies.
+
+Two admission policies drive the event engine (``SSDOptions.replay_mode``):
+**closed-loop** admission is completion-driven (a finished request admits
+the next one), while **open-loop** admission fires each request at its
+trace timestamp scaled by ``SSDOptions.time_scale`` — the WiscSee-style
+replay that measures latency under load against *arrival* times instead of
+queue depth.
 
 Internally every operation takes an explicit issue clock (``at_us``), so
 the same read/write/flush/GC code serves both engines: state changes apply
@@ -53,8 +69,9 @@ from repro.flash.flash_array import FlashArray, PageState
 from repro.flash.oob import OOBArea, validate_gamma_fits_oob
 from repro.ftl.base import FTL
 from repro.sim.events import Event, EventLoop
-from repro.sim.frontend import HostFrontend
+from repro.sim.frontend import HostFrontend, OpenLoopFrontend
 from repro.sim.nand import NANDScheduler, TIMING_MODELS
+from repro.workloads.trace import ReplayItem, as_request
 from repro.ssd.cache import LRUDataCache
 from repro.ssd.gc import GCPolicyConfig, GreedyGCPolicy
 from repro.ssd.stats import SSDStats
@@ -68,6 +85,9 @@ class SimulationError(RuntimeError):
 
 #: Valid values of :attr:`SSDOptions.engine`.
 ENGINES = ("auto", "serial", "events")
+
+#: Valid values of :attr:`SSDOptions.replay_mode`.
+REPLAY_MODES = ("closed", "open")
 
 
 @dataclass
@@ -90,6 +110,14 @@ class SSDOptions:
     #: ``"bus"`` matches the classic per-channel accounting, ``"die"`` also
     #: serializes cell operations on the same die.
     timing_model: str = "bus"
+    #: Replay admission policy: ``"closed"`` keeps up to ``queue_depth``
+    #: requests outstanding (completion-driven); ``"open"`` admits each
+    #: request at its trace timestamp regardless of completions, so
+    #: latency-under-load is measured against arrival times.
+    replay_mode: str = "closed"
+    #: Multiplier on trace inter-arrival times in open-loop replay:
+    #: ``0.5`` doubles the arrival rate, ``2.0`` halves it.
+    time_scale: float = 1.0
 
 
 class SimulatedSSD:
@@ -114,6 +142,10 @@ class SimulatedSSD:
             raise ValueError(f"engine must be one of {ENGINES}")
         if self.options.timing_model not in TIMING_MODELS:
             raise ValueError(f"timing_model must be one of {TIMING_MODELS}")
+        if self.options.replay_mode not in REPLAY_MODES:
+            raise ValueError(f"replay_mode must be one of {REPLAY_MODES}")
+        if self.options.time_scale <= 0.0:
+            raise ValueError("time_scale must be positive")
 
         gamma = self._ftl_oob_window()
         validate_gamma_fits_oob(gamma, config.oob_size)
@@ -175,6 +207,19 @@ class SimulatedSSD:
     @property
     def logical_pages(self) -> int:
         return self.config.logical_pages
+
+    def _horizon_us(self) -> float:
+        """Latest simulated time any resource is reserved to.
+
+        The serial clock lags reservations made by the final flush/GC, so
+        both the simulated end time and the utilization denominator use
+        the maximum of the clock and every channel's busy horizon.
+        """
+        busiest = max(
+            (self.flash.channel_busy_until(c) for c in range(self.config.channels)),
+            default=0.0,
+        )
+        return max(self._now_us, busiest)
 
     def _clock(self, at_us: Optional[float]) -> float:
         """Resolve an operation's issue time (``None`` = the serial clock)."""
@@ -422,26 +467,35 @@ class SimulatedSSD:
             return max(clock - start, 0.0) + self.config.dram_latency_us
 
         self.stats.translation_lookups += 1
-        ppa = translation.ppa
-        if self.flash.page_state(ppa) is PageState.FREE:
-            # The learned model pointed past the programmed region of a block
-            # (possible at block boundaries with gamma > 0): read the nearest
-            # programmed page of the error window instead and correct from
-            # its OOB, which keeps the cost at the same two flash reads.
-            fallback = self._nearest_programmed_page(lpa, ppa)
-            if fallback is None:
-                finish = self._fail_translation(lpa, ppa, clock)
-            else:
-                finish = self._timed_host_read(fallback, clock)
-                if self.flash.lpa_of(fallback) != lpa:
-                    finish = self._correct_misprediction(lpa, ppa, fallback, finish)
-        else:
-            finish = self._timed_host_read(ppa, clock)
-            if self.flash.lpa_of(ppa) != lpa:
-                finish = self._correct_misprediction(lpa, ppa, ppa, finish)
+        finish = self._read_resolved_page(lpa, translation.ppa, clock)
         self.stats.flash_reads_for_host += 1
         self.cache.insert(lpa, dirty=False)
         return finish - start
+
+    def _read_resolved_page(self, lpa: int, ppa: int, clock: float) -> float:
+        """Read the data page a translation resolved to; returns completion.
+
+        Handles the two recovery paths shared by the serial and batched
+        read paths: predictions landing on a FREE page (possible at block
+        boundaries with gamma > 0) fall back to the nearest programmed page
+        of the error window, and mispredictions are corrected through the
+        OOB reverse mapping at one extra flash read.
+        """
+        if self.flash.page_state(ppa) is PageState.FREE:
+            # The learned model pointed past the programmed region of a block:
+            # read the nearest programmed page of the error window instead and
+            # correct from its OOB, which keeps the cost at two flash reads.
+            fallback = self._nearest_programmed_page(lpa, ppa)
+            if fallback is None:
+                return self._fail_translation(lpa, ppa, clock)
+            finish = self._timed_host_read(fallback, clock)
+            if self.flash.lpa_of(fallback) != lpa:
+                finish = self._correct_misprediction(lpa, ppa, fallback, finish)
+            return finish
+        finish = self._timed_host_read(ppa, clock)
+        if self.flash.lpa_of(ppa) != lpa:
+            finish = self._correct_misprediction(lpa, ppa, ppa, finish)
+        return finish
 
     def _nearest_programmed_page(self, lpa: int, predicted_ppa: int) -> Optional[int]:
         """The programmed page of the ±gamma window closest to the prediction."""
@@ -597,25 +651,116 @@ class SimulatedSSD:
     ) -> float:
         """Issue one host request at ``at_us``; returns its completion time.
 
-        Pages within a request are processed serially (page ``i + 1`` starts
-        when page ``i`` completes), matching how a host command streams
-        through the controller; *different* requests overlap when the
-        event-driven frontend admits them concurrently.
+        Multi-page commands are first-class: a read spanning several pages
+        is translated in one :meth:`FTL.translate_range` batch and its flash
+        accesses are issued concurrently, split into per-channel chunks that
+        the NAND scheduler arbitrates — so a run striped over k channels
+        completes in roughly one read time, not k.  Multi-page writes stream
+        into the DRAM write buffer page by page (the buffer, not the NAND
+        path, absorbs them).  Single-page requests take exactly the
+        pre-batching code path, which keeps single-page replay bit-exact.
+
+        Pages running past the end of the logical space are clipped and
+        counted in ``stats.clipped_pages``.
         """
         if npages <= 0:
             raise ValueError("npages must be positive")
         if op not in ("R", "W"):
             raise ValueError(f"unknown operation {op!r}")
+        if lpa < 0:
+            raise ValueError(f"LPA {lpa} must be non-negative")
         clock = self._clock(at_us)
-        for offset in range(npages):
-            page = lpa + offset
-            if page >= self.config.logical_pages:
-                break
-            if op == "R":
-                clock += self.read(page, at_us=clock)
-            else:
+        end = min(lpa + npages, self.config.logical_pages)
+        if end - lpa < npages:
+            self.stats.clipped_pages += lpa + npages - max(end, lpa)
+        if end <= lpa:
+            return clock
+        if op == "W":
+            for page in range(lpa, end):
                 clock += self.write(page, at_us=clock)
-        return clock
+            return clock
+        if end - lpa == 1:
+            return clock + self.read(lpa, at_us=clock)
+        return self._read_multi(lpa, end - lpa, clock)
+
+    def _read_multi(self, lpa: int, npages: int, start: float) -> float:
+        """Serve one multi-page read command as a batch; returns completion.
+
+        Pages resident in DRAM (write buffer or data cache) complete at
+        DRAM latency.  The remaining pages form contiguous runs, each
+        translated with a single :meth:`FTL.translate_range` call, then
+        issued to flash grouped by channel: chunks on different channels
+        proceed concurrently while pages of the same chunk queue on their
+        channel bus — the striping the NAND scheduler arbitrates.  Each
+        page's latency (its completion minus the command's issue time) is
+        recorded individually; the command completes when its slowest page
+        does.
+        """
+        self.stats.host_reads += npages
+        self.stats.host_read_pages += npages
+        finish = start
+        runs: List[List[int]] = []
+        for page in range(lpa, lpa + npages):
+            if page in self.write_buffer:
+                self.stats.buffer_hits += 1
+            elif self.cache.lookup(page):
+                self.stats.cache_hits += 1
+            else:
+                if runs and runs[-1][-1] == page - 1:
+                    runs[-1].append(page)
+                else:
+                    runs.append([page])
+                continue
+            latency = self.config.dram_latency_us
+            self.stats.read_latency.record(latency)
+            finish = max(finish, start + latency)
+        for run in runs:
+            finish = max(finish, self._read_run_from_flash(run, start))
+        self._advance(finish)
+        return finish
+
+    def _read_run_from_flash(self, pages: Sequence[int], start: float) -> float:
+        """Translate one contiguous run in a batch and issue it striped.
+
+        Returns the completion time of the slowest page.  Foreground
+        translation flash traffic (DFTL/SFTL page fetches) is serial with
+        the run — every data read issues after it completes — exactly as in
+        the single-page path.
+        """
+        translations = self.ftl.translate_range(pages[0], len(pages))
+        clock = self._sync_translation_counters(start, foreground=True)
+        finish = start
+        chunks: Dict[int, List[Tuple[int, int]]] = {}
+        for page, translation in zip(pages, translations):
+            if translation.ppa is None:
+                # Unwritten space: served as zeroes from the controller.
+                self.stats.unmapped_reads += 1
+                latency = max(clock - start, 0.0) + self.config.dram_latency_us
+                self.stats.read_latency.record(latency)
+                finish = max(finish, start + latency)
+                continue
+            self.stats.translation_lookups += 1
+            chunks.setdefault(self._channel_of_prediction(translation.ppa), []).append(
+                (page, translation.ppa)
+            )
+        for channel in sorted(chunks):
+            for page, ppa in chunks[channel]:
+                page_finish = self._read_resolved_page(page, ppa, clock)
+                self.stats.flash_reads_for_host += 1
+                self.cache.insert(page, dirty=False)
+                self.stats.read_latency.record(page_finish - start)
+                finish = max(finish, page_finish)
+        return finish
+
+    def _channel_of_prediction(self, ppa: int) -> int:
+        """Channel a (possibly approximate) predicted PPA falls on.
+
+        Predictions of approximate segments can overshoot the physical
+        space by up to gamma pages; clamping keeps the chunk grouping
+        valid — the actual read path corrects the prediction itself.
+        """
+        total = self.flash.geometry.total_pages
+        return self.flash.geometry.channel_of(min(max(ppa, 0), total - 1))
 
     def process(self, op: str, lpa: int, npages: int = 1) -> None:
         """Apply one host request (``op`` is 'R' or 'W') spanning ``npages``."""
@@ -623,46 +768,59 @@ class SimulatedSSD:
 
     def run(
         self,
-        requests: Iterable[Tuple[str, int, int]],
+        requests: Iterable[ReplayItem],
         drain: bool = True,
         queue_depth: Optional[int] = None,
+        replay_mode: Optional[str] = None,
+        time_scale: Optional[float] = None,
     ) -> SSDStats:
-        """Replay an iterable of ``(op, lpa, npages)`` requests.
+        """Replay an iterable of host requests.
 
-        ``queue_depth`` overrides the configured option for this replay.
-        The event-driven engine is used when the effective depth exceeds 1
-        (or when ``options.engine`` forces it); otherwise the synchronous
-        fast path runs.
+        ``requests`` may yield :class:`repro.workloads.trace.IORequest`
+        objects (a :class:`~repro.workloads.trace.Trace` iterates those
+        directly) or bare ``(op, lpa, npages)`` tuples; tuples carry no
+        timestamps, so open-loop replay of a tuple stream degenerates to
+        simultaneous arrival.
+
+        ``queue_depth``, ``replay_mode`` and ``time_scale`` override the
+        configured options for this replay.  Closed-loop mode uses the
+        event-driven engine when the effective depth exceeds 1 (or when
+        ``options.engine`` forces it); otherwise the synchronous fast path
+        runs.  Open-loop mode always runs through the event loop: requests
+        are admitted at their (scaled) trace timestamps whether or not
+        earlier requests completed.
         """
+        mode = self.options.replay_mode if replay_mode is None else replay_mode
+        if mode not in REPLAY_MODES:
+            raise ValueError(f"replay_mode must be one of {REPLAY_MODES}")
+        scale = self.options.time_scale if time_scale is None else time_scale
+        if scale <= 0.0:
+            raise ValueError("time_scale must be positive")
         depth = self.effective_queue_depth if queue_depth is None else min(
             max(1, queue_depth), self.config.ncq_depth
         )
         engine = self.options.engine
-        if engine == "events" or (engine == "auto" and depth > 1):
-            self._run_events(requests, depth)
+        if mode == "open":
+            loop = EventLoop(start_us=self._now_us)
+            self._run_frontend(OpenLoopFrontend(self, loop, time_scale=scale), loop, requests)
+        elif engine == "events" or (engine == "auto" and depth > 1):
+            loop = EventLoop(start_us=self._now_us)
+            self._run_frontend(HostFrontend(self, loop, queue_depth=depth), loop, requests)
         else:
-            for op, lpa, npages in requests:
-                self.process(op, lpa, npages)
+            for request in map(as_request, requests):
+                self.submit(request.op, request.lpa, request.npages)
         if drain:
             self.flush()
-        self.stats.simulated_time_us = max(
-            self._now_us,
-            max(
-                (self.flash.channel_busy_until(c) for c in range(self.config.channels)),
-                default=0.0,
-            ),
-        )
+        self.stats.simulated_time_us = self._horizon_us()
         self.stats.measured_time_us = max(
             0.0, self.stats.simulated_time_us - self._measure_start_us
         )
         return self.stats
 
-    def _run_events(
-        self, requests: Iterable[Tuple[str, int, int]], queue_depth: int
+    def _run_frontend(
+        self, frontend, loop: EventLoop, requests: Iterable[ReplayItem]
     ) -> None:
-        """Replay through the event loop with an NCQ-style host frontend."""
-        loop = EventLoop(start_us=self._now_us)
-        frontend = HostFrontend(self, loop, queue_depth=queue_depth)
+        """Replay through the event loop with the given host frontend."""
         self._loop = loop
         try:
             frontend.run(requests)
@@ -683,16 +841,8 @@ class SimulatedSSD:
     def describe(self) -> Dict[str, float]:
         """Flat summary used by the experiment harness."""
         summary = self.stats.summary()
-        # Utilization denominator: the same horizon simulated_time_us uses —
-        # the serial clock lags reservations made by the final flush/GC.
-        now = max(
-            self._now_us,
-            max(
-                (self.flash.channel_busy_until(c) for c in range(self.config.channels)),
-                default=0.0,
-            ),
-            1e-9,
-        )
+        # Utilization denominator: the same horizon simulated_time_us uses.
+        now = max(self._horizon_us(), 1e-9)
         summary.update(
             {
                 "cache_capacity_pages": float(self.cache.capacity_pages),

@@ -100,6 +100,10 @@ class SSDStats:
     host_read_pages: int = 0
     host_write_pages: int = 0
     unmapped_reads: int = 0
+    #: Pages of host requests that ran past the end of the logical space and
+    #: were clipped (not served).  Non-zero means the trace was not scaled
+    #: to the device — silently invisible before this counter existed.
+    clipped_pages: int = 0
 
     # Where reads were served from.
     buffer_hits: int = 0
@@ -221,4 +225,5 @@ class SSDStats:
             "gc_invocations": float(self.gc_invocations),
             "read_stall_us": self.read_stall_us,
             "max_outstanding_requests": float(self.max_outstanding_requests),
+            "clipped_pages": float(self.clipped_pages),
         }

@@ -30,8 +30,27 @@ class TraceParseError(ValueError):
     """Raised when a trace line cannot be interpreted."""
 
 
-def parse_msr_line(line: str, page_size: int) -> Optional[IORequest]:
-    """Parse one CSV line; returns ``None`` for empty/comment lines."""
+def _parse_ticks(timestamp_raw: str) -> float:
+    """Filetime ticks of one line, kept exact (int) whenever possible."""
+    if not timestamp_raw:
+        return 0
+    try:
+        return int(timestamp_raw)
+    except ValueError:
+        return float(timestamp_raw)
+
+
+def parse_msr_line(
+    line: str, page_size: int, base_ticks: float = 0
+) -> Optional[IORequest]:
+    """Parse one CSV line; returns ``None`` for empty/comment lines.
+
+    ``base_ticks`` (filetime ticks) is subtracted from the timestamp
+    *before* the tick-to-microsecond conversion.  Absolute filetimes are
+    ~1.3e17 ticks, where a float64 only resolves ~3 us — rebasing against
+    the trace's first arrival in exact integer arithmetic preserves the
+    trace's full 100 ns arrival resolution for open-loop replay.
+    """
     stripped = line.strip()
     if not stripped or stripped.startswith("#"):
         return None
@@ -49,13 +68,17 @@ def parse_msr_line(line: str, page_size: int) -> Optional[IORequest]:
     try:
         offset = int(offset_raw)
         size = int(size_raw)
-        timestamp = float(timestamp_raw) / _TICKS_PER_US if timestamp_raw else 0.0
+        timestamp = (_parse_ticks(timestamp_raw) - base_ticks) / _TICKS_PER_US
     except ValueError as exc:
         raise TraceParseError(f"non-numeric field in line {line!r}") from exc
     if size <= 0:
         size = page_size
+    # Page span from the first and last byte touched: a request whose byte
+    # range crosses a page boundary touches one more page than size alone
+    # suggests (e.g. 4 KB starting at offset 2 KB spans two 4 KB pages).
     lpa = offset // page_size
-    npages = max(1, -(-size // page_size))
+    last_page = (offset + size - 1) // page_size
+    npages = last_page - lpa + 1
     return IORequest(op, lpa, npages, timestamp_us=timestamp)
 
 
@@ -65,14 +88,29 @@ def parse_msr_trace(
     page_size: int = 4096,
     max_requests: Optional[int] = None,
 ) -> Trace:
-    """Parse an MSR-format CSV trace from a path, file object or line iterable."""
+    """Parse an MSR-format CSV trace from a path, file object or line iterable.
+
+    Timestamps are rebased so the first request arrives at 0 us; only the
+    inter-arrival structure matters for replay, and the rebase keeps the
+    100 ns trace resolution that absolute filetimes would lose to float64
+    rounding.
+    """
     if isinstance(source, (str, Path)):
         with open(source, "r", encoding="utf-8") as handle:
             return parse_msr_trace(handle, name=name, page_size=page_size, max_requests=max_requests)
 
     requests: List[IORequest] = []
+    base_ticks: Optional[float] = None
     for line in source:
-        request = parse_msr_line(line, page_size)
+        if base_ticks is None:
+            stripped = line.strip()
+            if stripped and not stripped.startswith("#"):
+                try:
+                    base_ticks = _parse_ticks(stripped.split(",", 1)[0])
+                except ValueError:
+                    base_ticks = None  # parse_msr_line reports the bad line
+
+        request = parse_msr_line(line, page_size, base_ticks=base_ticks or 0)
         if request is None:
             continue
         requests.append(request)

@@ -22,6 +22,7 @@ Every generator is deterministic given its seed.
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -147,7 +148,11 @@ class SyntheticWorkload:
 
     def __init__(self, profile: WorkloadProfile) -> None:
         self.profile = profile
-        self._rng = random.Random((hash(profile.name) & 0xFFFF) ^ profile.seed)
+        # Python's str hash is salted per process (PYTHONHASHSEED), so it
+        # would make every process generate a different trace; CRC32 keeps
+        # the name-derived seed stable across runs and machines.
+        name_hash = zlib.crc32(profile.name.encode("utf-8"))
+        self._rng = random.Random((name_hash & 0xFFFF) ^ profile.seed)
         #: Regions written so far; reads are drawn from them.
         self._written_regions: List[Tuple[int, int]] = []
 

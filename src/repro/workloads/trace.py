@@ -9,10 +9,26 @@ constructors.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 READ = "R"
 WRITE = "W"
+
+#: Anything the simulator can replay: a full request object, or the legacy
+#: bare tuple (which carries no arrival timestamp).
+ReplayItem = Union["IORequest", Tuple[str, int, int]]
+
+
+def as_request(item: ReplayItem) -> "IORequest":
+    """Coerce a replay item to an :class:`IORequest`.
+
+    Tuples get a zero timestamp — replaying them open-loop degenerates to
+    simultaneous arrival.
+    """
+    if isinstance(item, IORequest):
+        return item
+    op, lpa, npages = item
+    return IORequest(op, lpa, npages)
 
 
 @dataclass(frozen=True)
@@ -101,6 +117,29 @@ class Trace:
 
     def concatenated(self, other: "Trace", name: Optional[str] = None) -> "Trace":
         return Trace(name or f"{self.name}+{other.name}", self._requests + other._requests)
+
+    def has_timestamps(self) -> bool:
+        """True when at least one request carries a non-zero arrival time."""
+        return any(r.timestamp_us != 0.0 for r in self._requests)
+
+    def with_interarrival(self, interarrival_us: float) -> "Trace":
+        """A copy stamped with uniform arrival times (open-loop replay).
+
+        The synthetic workload generators produce order-only traces; this
+        assigns request ``i`` the timestamp ``i * interarrival_us`` so they
+        can be replayed open-loop at a controlled arrival rate.  Traces that
+        already carry timestamps (e.g. parsed MSR traces) keep them — use
+        ``SSDOptions.time_scale`` to speed those up or down instead.
+        """
+        if interarrival_us < 0.0:
+            raise ValueError("interarrival_us must be non-negative")
+        if self.has_timestamps():
+            return Trace(self.name, self._requests)
+        stamped = [
+            IORequest(r.op, r.lpa, r.npages, timestamp_us=i * interarrival_us)
+            for i, r in enumerate(self._requests)
+        ]
+        return Trace(self.name, stamped)
 
     # ------------------------------------------------------------------ #
     # Statistics

@@ -53,6 +53,29 @@ class TestDFTL:
         ftl.update_batch([(lpa, lpa) for lpa in range(256)])
         assert ftl.stats.translation_page_writes > 0
 
+    def test_dirty_eviction_flushes_whole_translation_page_batch(self):
+        """Evicting one dirty entry write-backs every dirty sibling of its
+        translation page and charges exactly one read-modify-write."""
+        from repro.config import DFTLConfig
+
+        config = DFTLConfig(entries_per_translation_page=4)
+        ftl = DFTL(mapping_budget_bytes=8 * 8, config=config)  # 8 entries fit
+        # Fill the CMT with 8 dirty entries: TP 0 holds LPAs 0-3, TP 1 holds 4-7.
+        ftl.update_batch([(lpa, 100 + lpa) for lpa in range(8)])
+        reads_before = ftl.stats.translation_page_reads
+        writes_before = ftl.stats.translation_page_writes
+        # One more insert overflows the CMT; the LRU victim (LPA 0) is dirty.
+        ftl.update_batch([(100, 999)])
+        assert ftl.stats.translation_page_reads - reads_before == 1
+        assert ftl.stats.translation_page_writes - writes_before == 1
+        # LPAs 1-3 (same translation page) were written back alongside the
+        # victim: evicting them now must not charge another write.
+        ftl.update_batch([(101, 1), (102, 2), (103, 3)])
+        assert ftl.stats.translation_page_writes - writes_before == 1
+        # The batched write-back persisted the sibling mappings correctly.
+        assert ftl.translate(1).ppa == 101
+        assert ftl.translate(3).ppa == 103
+
     def test_budget_respected(self):
         budget = 16 * 8
         ftl = DFTL(mapping_budget_bytes=budget)

@@ -1,0 +1,475 @@
+"""Tests for first-class multi-page commands and open-loop replay.
+
+Covers the three layers of the refactor:
+
+* ``FTL.translate_range`` — batched accounting (one lookup per mapping
+  structure resolution, one translation-page fetch per chunk) and, above
+  all, *equivalence*: the batched results must match per-page ``translate``
+  even when newer segments shadow older ones mid-run;
+* ``SimulatedSSD.submit`` — multi-page reads are striped across channels
+  and complete faster than the serial per-page baseline, while single-page
+  replay stays bit-exact with the pre-batching primitives;
+* open-loop replay — requests admitted at (scaled) trace timestamps, with
+  latency measured against arrival times.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import DFTLConfig, LeaFTLConfig
+from repro.core.leaftl import LeaFTL
+from repro.ftl.base import FTL, TranslationResult
+from repro.ftl.dftl import DFTL
+from repro.ftl.pagemap import PageLevelFTL
+from repro.ftl.sftl import SFTL
+from repro.sim.events import EventLoop
+from repro.sim.frontend import OpenLoopFrontend
+from repro.ssd.ssd import SSDOptions
+from repro.workloads.trace import IORequest, Trace
+from tests.conftest import make_ssd
+
+
+# --------------------------------------------------------------------------- #
+# translate_range: batched accounting and per-page equivalence
+# --------------------------------------------------------------------------- #
+class _MiniFTL(FTL):
+    """Bare-bones FTL relying on the base-class translate_range fallback."""
+
+    def __init__(self):
+        super().__init__()
+        self._table = {}
+
+    def translate(self, lpa):
+        self.stats.lookups += 1
+        return TranslationResult(ppa=self._table.get(lpa))
+
+    def update_batch(self, mappings):
+        self._table.update(mappings)
+
+    def exists(self, lpa):
+        return lpa in self._table
+
+    def resident_bytes(self):
+        return 8 * len(self._table)
+
+    def full_mapping_bytes(self):
+        return 8 * len(self._table)
+
+
+class TestTranslateRangeBase:
+    def test_default_fallback_loops_translate(self):
+        ftl = _MiniFTL()
+        ftl.update_batch([(lpa, 10 + lpa) for lpa in range(4)])
+        results = ftl.translate_range(0, 4)
+        assert [r.ppa for r in results] == [10, 11, 12, 13]
+        assert ftl.stats.lookups == 4  # fallback charges per page
+
+    def test_rejects_non_positive_npages(self):
+        ftl = _MiniFTL()
+        with pytest.raises(ValueError):
+            ftl.translate_range(0, 0)
+
+
+class TestLeaFTLTranslateRange:
+    def _learned_ftl(self, gamma=0):
+        ftl = LeaFTL(LeaFTLConfig(gamma=gamma))
+        ftl.update_batch([(lpa, 1000 + lpa) for lpa in range(64)])
+        return ftl
+
+    def test_contiguous_run_charges_one_lookup(self):
+        """Acceptance: an 8-page run on one segment grows lookups by 1."""
+        ftl = self._learned_ftl()
+        before = ftl.stats.lookups
+        results = ftl.translate_range(8, 8)
+        assert ftl.stats.lookups - before == 1
+        assert [r.ppa for r in results] == [1008 + i for i in range(8)]
+
+    def test_matches_per_page_translate(self):
+        ftl = self._learned_ftl(gamma=4)
+        batched = ftl.translate_range(0, 64)
+        for offset, result in enumerate(batched):
+            assert result.ppa == ftl.translate(offset).ppa
+
+    def test_newer_segment_shadows_older_one_mid_run(self):
+        """A page overwritten after the initial run must resolve through the
+        newer (higher-level) segment, not the stale run segment."""
+        ftl = self._learned_ftl()
+        ftl.update_batch([(20, 5000)])  # single-point overwrite inside the run
+        results = ftl.translate_range(16, 8)
+        assert results[4].ppa == 5000
+        assert results[3].ppa == 1019
+        assert results[5].ppa == 1021
+
+    def test_segment_change_mid_run_charges_per_resolution(self):
+        ftl = self._learned_ftl()
+        ftl.update_batch([(20, 5000)])
+        before = ftl.stats.lookups
+        ftl.translate_range(16, 8)
+        # Three resolutions: old-segment run, the overwrite, old-segment run.
+        assert ftl.stats.lookups - before == 3
+
+    def test_miss_pages_return_none(self):
+        ftl = self._learned_ftl()
+        results = ftl.translate_range(60, 8)  # 60-63 mapped, 64-67 not
+        assert [r.ppa is not None for r in results] == [True] * 4 + [False] * 4
+
+    def test_range_spanning_groups(self):
+        ftl = LeaFTL(LeaFTLConfig(gamma=0))
+        ftl.update_batch([(lpa, 2000 + lpa) for lpa in range(250, 262)])
+        results = ftl.translate_range(250, 12)  # crosses the 256 boundary
+        assert [r.ppa for r in results] == [2250 + i for i in range(12)]
+
+    def test_random_history_equivalence(self):
+        """Batched and per-page translation agree after a messy history."""
+        rng = random.Random(42)
+        ftl = LeaFTL(LeaFTLConfig(gamma=4))
+        ppa = 0
+        for _ in range(60):
+            start = rng.randrange(0, 900)
+            length = rng.randint(1, 40)
+            ftl.update_batch([(lpa, ppa + i) for i, lpa in enumerate(range(start, start + length))])
+            ppa += length
+        batched = ftl.translate_range(0, 960)
+        for lpa, result in enumerate(batched):
+            assert result.ppa == ftl.translate(lpa).ppa, f"mismatch at LPA {lpa}"
+
+
+class TestDFTLTranslateRange:
+    def _cold_dftl(self, entries=16, per_tp=4):
+        ftl = DFTL(
+            mapping_budget_bytes=None,
+            config=DFTLConfig(entries_per_translation_page=per_tp),
+        )
+        for lpa in range(entries):
+            ftl._flash_table[lpa] = 100 + lpa  # flash-resident, CMT cold
+        return ftl
+
+    def test_one_fetch_serves_all_entries_of_a_translation_page(self):
+        ftl = self._cold_dftl()
+        before = ftl.stats.translation_page_reads
+        results = ftl.translate_range(0, 4)  # all on translation page 0
+        assert [r.ppa for r in results] == [100, 101, 102, 103]
+        assert ftl.stats.translation_page_reads - before == 1
+
+    def test_lookups_charged_per_translation_page_chunk(self):
+        ftl = self._cold_dftl()
+        before = ftl.stats.lookups
+        ftl.translate_range(0, 8)  # two translation pages
+        assert ftl.stats.lookups - before == 2
+
+    def test_matches_per_page_translate(self):
+        ftl = self._cold_dftl()
+        batched = [r.ppa for r in ftl.translate_range(0, 16)]
+        fresh = self._cold_dftl()
+        assert batched == [fresh.translate(lpa).ppa for lpa in range(16)]
+
+    def test_unmapped_entries_do_not_fetch(self):
+        ftl = self._cold_dftl(entries=2)
+        before = ftl.stats.translation_page_reads
+        results = ftl.translate_range(4, 4)  # translation page 1: nothing mapped
+        assert all(r.ppa is None for r in results)
+        assert ftl.stats.translation_page_reads == before
+
+
+class TestSFTLTranslateRange:
+    def test_one_admission_serves_the_chunk(self):
+        ftl = SFTL(mapping_budget_bytes=None)
+        ftl.update_batch([(lpa, 300 + lpa) for lpa in range(32)])
+        before = ftl.stats.lookups
+        results = ftl.translate_range(0, 16)
+        assert [r.ppa for r in results] == [300 + i for i in range(16)]
+        assert ftl.stats.lookups - before == 1  # one condensed-page chunk
+
+    def test_matches_per_page_translate(self):
+        ftl = SFTL(mapping_budget_bytes=None)
+        ftl.update_batch([(lpa, 300 + 2 * lpa) for lpa in range(0, 40, 2)])
+        batched = [r.ppa for r in ftl.translate_range(0, 40)]
+        assert batched == [ftl.translate(lpa).ppa for lpa in range(40)]
+
+
+class TestPageMapTranslateRange:
+    def test_single_probe_for_the_run(self):
+        ftl = PageLevelFTL()
+        ftl.update_batch([(lpa, 40 + lpa) for lpa in range(8)])
+        before = ftl.stats.lookups
+        results = ftl.translate_range(2, 4)
+        assert [r.ppa for r in results] == [42, 43, 44, 45]
+        assert ftl.stats.lookups - before == 1
+
+
+# --------------------------------------------------------------------------- #
+# SimulatedSSD.submit: striping, per-page stats, clipping, regression anchor
+# --------------------------------------------------------------------------- #
+def _fill_blocks(ssd, pages):
+    """Fill ``pages`` LPAs via whole-block writes (one block per flush)."""
+    per_block = ssd.config.pages_per_block
+    for lpa in range(0, pages, per_block):
+        ssd.process("W", lpa, per_block)
+    ssd.flush()
+
+
+def _drop_dram_copies(ssd, pages):
+    for lpa in range(pages):
+        ssd.cache.invalidate(lpa)
+
+
+class TestMultiPageSubmit:
+    def test_striped_read_beats_serial_per_page_baseline(self):
+        """Acceptance: a read spanning k channels completes faster than the
+        same span issued as serial single-page commands."""
+        span = 256  # 4 blocks of 64 pages -> 4 channels in the tiny config
+
+        def run(requests):
+            ssd = make_ssd(options=SSDOptions(engine="events"))
+            _fill_blocks(ssd, 2048)
+            _drop_dram_copies(ssd, span)
+            start = ssd.now_us
+            ssd.run(requests, drain=False)
+            return ssd, ssd.now_us - start
+
+        ssd_batched, batched = run([("R", 0, span)])
+        ssd_serial, serial = run([("R", lpa, 1) for lpa in range(span)])
+        # Same flash work either way...
+        assert (
+            ssd_batched.stats.flash_reads_for_host
+            == ssd_serial.stats.flash_reads_for_host
+        )
+        # ...but the batched command overlaps channels.
+        assert batched < serial * 0.75
+        # The span really striped over more than one channel.
+        busy = [
+            ssd_batched.flash.channel_busy_until(c)
+            for c in range(ssd_batched.config.channels)
+        ]
+        assert sum(1 for b in busy if b > 0.0) > 1
+
+    def test_multi_page_read_records_per_page_latencies(self):
+        ssd = make_ssd()
+        _fill_blocks(ssd, 512)
+        _drop_dram_copies(ssd, 64)
+        before = ssd.stats.read_latency.count
+        ssd.process("R", 0, 8)
+        assert ssd.stats.read_latency.count - before == 8
+        assert ssd.stats.host_read_pages == 8
+
+    def test_leaftl_multi_page_read_resolves_in_one_lookup(self):
+        """Acceptance, end to end: the 8-page flash read grows the FTL
+        lookup counter by 1, not 8."""
+        ssd = make_ssd()
+        _fill_blocks(ssd, 512)
+        _drop_dram_copies(ssd, 64)
+        before = ssd.ftl.stats.lookups
+        ssd.process("R", 8, 8)
+        assert ssd.ftl.stats.lookups - before == 1
+
+    def test_single_page_replay_is_bit_exact_with_direct_primitives(self):
+        """Acceptance: queue_depth=1 single-page replay through the reworked
+        submit() reproduces the pre-refactor read()/write() path exactly."""
+        rng = random.Random(13)
+        ops = []
+        for _ in range(3000):
+            lpa = rng.randrange(10_000)
+            ops.append(("W" if rng.random() < 0.5 else "R", lpa, 1))
+
+        replayed = make_ssd()
+        replayed.run(ops)
+
+        direct = make_ssd()
+        for op, lpa, _ in ops:
+            if op == "W":
+                direct.write(lpa)
+            else:
+                direct.read(lpa)
+        direct.flush()
+        direct.stats.simulated_time_us = direct._horizon_us()
+
+        def signature(ssd):
+            stats = ssd.stats
+            return (
+                stats.read_latency.count,
+                stats.read_latency.total_us,
+                stats.read_latency.max_us,
+                stats.write_latency.count,
+                stats.write_latency.total_us,
+                stats.data_page_writes,
+                stats.gc_page_reads,
+                stats.gc_page_writes,
+                stats.buffer_flushes,
+                stats.buffer_hits,
+                stats.cache_hits,
+                stats.simulated_time_us,
+                ssd.flash.counters.page_reads,
+                ssd.flash.counters.page_writes,
+                ssd.ftl.stats.lookups,
+            )
+
+        assert signature(replayed) == signature(direct)
+
+    def test_clipped_pages_are_counted(self):
+        ssd = make_ssd()
+        logical = ssd.config.logical_pages
+        ssd.process("W", logical - 2, 8)        # 6 pages run past the end
+        assert ssd.stats.clipped_pages == 6
+        assert ssd.stats.host_write_pages == 2  # the in-range pages served
+        ssd.process("R", logical + 10, 4)       # fully out of range
+        assert ssd.stats.clipped_pages == 10
+        assert ssd.stats.host_read_pages == 0
+        assert ssd.describe()["clipped_pages"] == 10.0
+
+    def test_negative_lpa_rejected_on_every_sub_path(self):
+        ssd = make_ssd()
+        for op, npages in (("R", 1), ("R", 8), ("W", 1), ("W", 8)):
+            with pytest.raises(ValueError):
+                ssd.submit(op, -4, npages)
+
+    def test_multi_page_write_still_streams_through_the_buffer(self):
+        ssd = make_ssd()
+        ssd.process("W", 0, 100)
+        assert ssd.stats.host_write_pages == 100
+        ssd.flush()
+        assert ssd.stats.data_page_writes == 100
+
+
+# --------------------------------------------------------------------------- #
+# Open-loop replay
+# --------------------------------------------------------------------------- #
+class _RecordingDevice:
+    """Fixed-latency device that records issue times."""
+
+    def __init__(self, latency_us=10.0):
+        self.latency_us = latency_us
+        self.issues = []
+
+    def submit(self, op, lpa, npages, at_us):
+        self.issues.append((at_us, op, lpa))
+        return at_us + self.latency_us
+
+
+class TestOpenLoopFrontend:
+    def _requests(self, interarrival):
+        return [
+            IORequest("R", lpa, 1, timestamp_us=1000.0 + lpa * interarrival)
+            for lpa in range(4)
+        ]
+
+    def test_requests_issued_at_relative_timestamps(self):
+        device = _RecordingDevice()
+        frontend = OpenLoopFrontend(device, EventLoop())
+        stats = frontend.run(self._requests(50.0))
+        assert [t for t, _, _ in device.issues] == [0.0, 50.0, 100.0, 150.0]
+        assert stats.submitted == stats.completed == 4
+        assert stats.max_outstanding == 1  # arrivals slower than service
+
+    def test_time_scale_compresses_arrivals(self):
+        device = _RecordingDevice()
+        frontend = OpenLoopFrontend(device, EventLoop(), time_scale=0.1)
+        frontend.run(self._requests(50.0))
+        assert [t for t, _, _ in device.issues] == [0.0, 5.0, 10.0, 15.0]
+
+    def test_admission_does_not_wait_for_completions(self):
+        device = _RecordingDevice(latency_us=1000.0)  # far slower than arrivals
+        frontend = OpenLoopFrontend(device, EventLoop())
+        stats = frontend.run(self._requests(50.0))
+        assert [t for t, _, _ in device.issues] == [0.0, 50.0, 100.0, 150.0]
+        assert stats.max_outstanding == 4  # the backlog is the measurement
+
+    def test_tuples_degenerate_to_simultaneous_arrival(self):
+        device = _RecordingDevice()
+        frontend = OpenLoopFrontend(device, EventLoop())
+        frontend.run([("R", lpa, 1) for lpa in range(3)])
+        assert [t for t, _, _ in device.issues] == [0.0, 0.0, 0.0]
+
+    def test_invalid_time_scale_rejected(self):
+        with pytest.raises(ValueError):
+            OpenLoopFrontend(_RecordingDevice(), EventLoop(), time_scale=0.0)
+
+
+class TestOpenLoopReplay:
+    def _stamped_trace(self, count=2000, interarrival=5.0, footprint=20_000):
+        rng = random.Random(7)
+        requests = [
+            IORequest(
+                "W" if rng.random() < 0.4 else "R",
+                rng.randrange(footprint),
+                rng.randint(1, 8),
+                timestamp_us=i * interarrival,
+            )
+            for i in range(count)
+        ]
+        return Trace("stamped", requests)
+
+    def test_run_accepts_io_requests_open_loop(self):
+        ssd = make_ssd(options=SSDOptions(replay_mode="open"))
+        _fill_blocks(ssd, 20_000)
+        ssd.begin_measurement()
+        trace = self._stamped_trace()
+        stats = ssd.run(trace)
+        # The replay cannot finish before the last request arrived.
+        last_arrival = trace[-1].timestamp_us - trace[0].timestamp_us
+        assert stats.measured_time_us >= last_arrival
+        assert stats.events_processed > 0
+        assert stats.host_reads + stats.host_writes == sum(
+            r.npages for r in trace
+        )
+
+    def test_saturation_grows_backlog_and_latency(self):
+        def run(interarrival):
+            ssd = make_ssd(options=SSDOptions(replay_mode="open"))
+            _fill_blocks(ssd, 20_000)
+            ssd.begin_measurement()
+            ssd.run(self._stamped_trace(interarrival=interarrival))
+            return ssd.stats
+
+        relaxed = run(200.0)
+        saturated = run(2.0)
+        assert saturated.max_outstanding_requests > relaxed.max_outstanding_requests
+        assert saturated.read_latency.mean_us > relaxed.read_latency.mean_us
+
+    def test_time_scale_stretches_the_replay(self):
+        def run(scale):
+            ssd = make_ssd(
+                options=SSDOptions(replay_mode="open", time_scale=scale)
+            )
+            _fill_blocks(ssd, 20_000)
+            ssd.begin_measurement()
+            return ssd.run(self._stamped_trace(interarrival=100.0))
+
+        slow = run(2.0)
+        fast = run(0.5)
+        assert slow.measured_time_us > fast.measured_time_us
+
+    def test_open_loop_replay_is_deterministic(self):
+        def run():
+            ssd = make_ssd(options=SSDOptions(replay_mode="open"))
+            _fill_blocks(ssd, 20_000)
+            stats = ssd.run(self._stamped_trace())
+            return (
+                stats.read_latency.total_us,
+                stats.write_latency.total_us,
+                stats.simulated_time_us,
+                stats.max_outstanding_requests,
+                ssd.flash.counters.page_reads,
+            )
+
+        assert run() == run()
+
+    def test_closed_loop_run_accepts_io_requests_and_traces(self):
+        trace = Trace("t", [IORequest("W", lpa, 4) for lpa in range(0, 256, 4)])
+        serial = make_ssd()
+        serial.run(trace)
+        events = make_ssd(options=SSDOptions(queue_depth=4))
+        events.run(trace)
+        assert serial.stats.host_write_pages == 256
+        assert events.stats.host_write_pages == 256
+
+    def test_invalid_replay_mode_rejected(self):
+        ssd = make_ssd()
+        with pytest.raises(ValueError):
+            ssd.run([], replay_mode="looped")
+        with pytest.raises(ValueError):
+            make_ssd(options=SSDOptions(replay_mode="looped"))
+        with pytest.raises(ValueError):
+            ssd.run([], replay_mode="open", time_scale=0.0)

@@ -64,6 +64,18 @@ class TestTrace:
         rebuilt = Trace.from_tuples("t", trace.as_tuples())
         assert rebuilt[0].lpa == 5 and rebuilt[0].npages == 2
 
+    def test_with_interarrival_stamps_timestampless_traces(self):
+        trace = Trace("t", [IORequest("R", i, 1) for i in range(4)])
+        assert not trace.has_timestamps()
+        stamped = trace.with_interarrival(25.0)
+        assert [r.timestamp_us for r in stamped] == [0.0, 25.0, 50.0, 75.0]
+        assert stamped.has_timestamps()
+
+    def test_with_interarrival_preserves_existing_timestamps(self):
+        trace = Trace("t", [IORequest("R", 0, 1, timestamp_us=7.0)])
+        stamped = trace.with_interarrival(100.0)
+        assert stamped[0].timestamp_us == 7.0
+
 
 class TestPatternGenerators:
     def test_sequential_run(self):
@@ -152,7 +164,9 @@ class TestMSRParser:
     def test_parse_respects_page_size(self):
         trace = parse_msr_trace(io.StringIO(self.SAMPLE), page_size=8192)
         assert trace[0].lpa == 1
-        assert trace[1].npages == 1
+        # 8192 bytes at offset 12288 span bytes 12288-20479, which cross the
+        # 16384 boundary: two 8 KB pages, not size // page_size == 1.
+        assert trace[1].npages == 2
 
     def test_malformed_line_rejected(self):
         with pytest.raises(ValueError):
@@ -165,6 +179,30 @@ class TestMSRParser:
     def test_max_requests(self):
         trace = parse_msr_trace(io.StringIO(self.SAMPLE), max_requests=1)
         assert len(trace) == 1
+
+    def test_unaligned_request_crossing_page_boundary_counts_both_pages(self):
+        # 4096 bytes starting at offset 2048 touch pages 0 and 1.
+        trace = parse_msr_trace(io.StringIO("1,h,0,Read,2048,4096,0\n"))
+        assert trace[0].lpa == 0
+        assert trace[0].npages == 2
+
+    def test_page_span_from_first_and_last_byte(self):
+        # 8192 bytes at offset 4097 touch pages 1, 2 and 3.
+        trace = parse_msr_trace(io.StringIO("1,h,0,Write,4097,8192,0\n"))
+        assert trace[0].lpa == 1
+        assert trace[0].npages == 3
+        # An aligned request is unchanged by the boundary math.
+        aligned = parse_msr_trace(io.StringIO("1,h,0,Write,4096,8192,0\n"))
+        assert aligned[0].lpa == 1
+        assert aligned[0].npages == 2
+
+    def test_timestamps_rebased_to_first_arrival_in_microseconds(self):
+        trace = parse_msr_trace(io.StringIO(self.SAMPLE))
+        assert trace[0].timestamp_us == 0.0
+        # Delta of the two filetime stamps: 13,792,362 ticks = 1,379,236.2 us,
+        # exact — the rebase happens in integer ticks, so the 100 ns arrival
+        # resolution survives float64 conversion.
+        assert trace[1].timestamp_us == pytest.approx(1_379_236.2)
 
     def test_write_and_reparse_round_trip(self):
         original = Trace("t", [IORequest("W", 7, 3), IORequest("R", 100, 1)])
