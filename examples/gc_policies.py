@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Garbage-collection policies and background GC on an aged device.
+
+Run with::
+
+    python examples/gc_policies.py
+
+Two experiments, both on devices aged into GC steady state with
+``precondition()`` (sequential fill + Zipf-skewed overwrites — the WiscSee
+recipe that makes WAF and GC-interference numbers representative):
+
+1. **Aging sweep** — replays the same overwrite-heavy mix for every GC
+   victim policy (greedy, cost-benefit, d-choices) at several
+   over-provisioning ratios.  The classic trend appears: more spare blocks
+   mean victims shed more valid pages before collection, so WAF falls as
+   over-provisioning grows — for every policy.
+
+2. **GC scheduling** — replays the identical contended workload (queue
+   depth 8) with the synchronous reclaim loop and with the background GC
+   pipeline.  Synchronous GC reserves a whole multi-victim migration burst
+   at one instant, so foreground reads landing mid-reclaim queue behind all
+   of it; the background pipeline stages one victim at a time (read →
+   program → erase events) between host requests, which flattens the read
+   tail while deferring — not skipping — collection.  The hard-watermark
+   column shows how long host writes were throttled when the pipeline fell
+   behind a write burst.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.performance import aging_sweep, gc_mode_comparison
+
+OP_RATIOS = (0.08, 0.16, 0.28)
+POLICIES = ("greedy", "cost_benefit", "d_choices")
+
+
+def print_aging_sweep() -> None:
+    print("=== steady-state WAF by GC policy and over-provisioning ===")
+    table = aging_sweep(op_ratios=OP_RATIOS, policies=POLICIES)
+    header = f"{'policy':>14} " + " ".join(f"{f'OP {op:.0%}':>12}" for op in OP_RATIOS)
+    print(header)
+    print("-" * len(header))
+    for policy, row in table.items():
+        cells = " ".join(f"{row[op]['waf']:>12.3f}" for op in OP_RATIOS)
+        print(f"{policy:>14} {cells}")
+    print()
+    print("p99 read latency (us) at the same cells:")
+    for policy, row in table.items():
+        cells = " ".join(f"{row[op]['read_p99_us']:>12.0f}" for op in OP_RATIOS)
+        print(f"{policy:>14} {cells}")
+
+
+def print_gc_modes() -> None:
+    print("\n=== synchronous vs background GC (aged device, queue depth 8) ===")
+    table = gc_mode_comparison()
+    keys = (
+        ("read_mean_us", "read mean us"),
+        ("read_p99_us", "read p99 us"),
+        ("waf", "WAF"),
+        ("gc_page_writes", "GC page writes"),
+        ("gc_write_throttle_us", "write throttle us"),
+    )
+    header = f"{'metric':>18} {'sync':>14} {'background':>14}"
+    print(header)
+    print("-" * len(header))
+    for key, label in keys:
+        print(
+            f"{label:>18} {table['sync'][key]:>14.1f} "
+            f"{table['background'][key]:>14.1f}"
+        )
+
+
+def main() -> None:
+    print_aging_sweep()
+    print_gc_modes()
+
+
+if __name__ == "__main__":
+    main()

@@ -48,7 +48,14 @@ from repro.core import (
 )
 from repro.ftl import DFTL, FTL, PageLevelFTL, SFTL, TranslationResult
 from repro.sim import EventLoop, HostFrontend, NANDScheduler, interleave_streams
-from repro.ssd import SimulatedSSD, SSDOptions, SSDStats
+from repro.ssd import (
+    GCPolicy,
+    GCPolicyConfig,
+    SimulatedSSD,
+    SSDOptions,
+    SSDStats,
+    make_gc_policy,
+)
 from repro.workloads import IORequest, Trace
 
 __version__ = "1.0.0"
@@ -73,6 +80,9 @@ __all__ = [
     "HostFrontend",
     "NANDScheduler",
     "interleave_streams",
+    "GCPolicy",
+    "GCPolicyConfig",
+    "make_gc_policy",
     "SimulatedSSD",
     "SSDOptions",
     "SSDStats",

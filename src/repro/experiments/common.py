@@ -34,6 +34,7 @@ from repro.ssd.stats import SSDStats
 from repro.workloads.database import DATABASE_WORKLOAD_NAMES, database_workload
 from repro.workloads.fiu import FIU_WORKLOAD_NAMES, fiu_workload
 from repro.workloads.msr import MSR_WORKLOAD_NAMES, msr_workload
+from repro.workloads.synthetic import zipf_lpa
 from repro.workloads.trace import Trace
 
 #: FTL schemes compared throughout the evaluation.
@@ -102,6 +103,14 @@ class ExperimentSetup:
     #: Arrival spacing stamped onto timestamp-less (synthetic) traces when
     #: they are replayed open-loop.
     open_loop_interarrival_us: float = 20.0
+    #: Fraction of raw flash capacity reserved as over-provisioning space
+    #: (the knob the aging sweep varies; the paper's default is 20 %).
+    overprovisioning: float = 0.20
+    #: GC scheduling: ``"sync"`` (classic blocking reclaim at flush time) or
+    #: ``"background"`` (event-pipelined reclaim overlapping host I/O).
+    gc_mode: str = "sync"
+    #: GC victim-selection policy: ``greedy``, ``cost_benefit``, ``d_choices``.
+    gc_policy: str = "greedy"
     #: Random seed of the warm-up pattern.
     seed: int = 7
 
@@ -113,6 +122,7 @@ class ExperimentSetup:
             channels=self.channels,
             dram_size=self.dram_bytes,
             write_buffer_bytes=self.write_buffer_bytes,
+            overprovisioning=self.overprovisioning,
             ncq_depth=max(32, self.queue_depth),
         )
 
@@ -179,12 +189,14 @@ def build_ssd(scheme: str, setup: ExperimentSetup) -> SimulatedSSD:
         queue_depth=setup.queue_depth,
         replay_mode=setup.replay_mode,
         time_scale=setup.time_scale,
+        gc_mode=setup.gc_mode,
     )
     return SimulatedSSD(
         config=config,
         ftl=ftl,
         dram_budget=setup.dram_budget(),
         options=options,
+        gc_policy=setup.gc_policy,
     )
 
 
@@ -212,6 +224,81 @@ def warmup_ssd(ssd: SimulatedSSD, setup: ExperimentSetup) -> None:
             written += 4
     ssd.flush()
     reset_measurement(ssd)
+
+
+def precondition(
+    ssd: SimulatedSSD,
+    fill_fraction: float = 0.92,
+    overwrite_fraction: float = 1.0,
+    zipf_alpha: float = 0.8,
+    extent: int = 256,
+    seed: int = 11,
+) -> int:
+    """Age the device into GC steady state (WiscSee-style preconditioning).
+
+    Steady-state WAF and GC-interference latencies only mean something once
+    every physical block has been written and the per-block validity
+    distribution reflects the workload's skew — a freshly formatted device
+    under-reports both.  The recipe:
+
+    1. **fill** — write ``fill_fraction`` of the logical space sequentially
+       in ``extent``-page runs, so every block starts fully valid;
+    2. **age** — overwrite ``overwrite_fraction`` of the filled footprint in
+       Zipf-skewed random order (``zipf_alpha``), spreading invalid pages
+       *unevenly* across blocks: hot blocks drain toward empty while cold
+       blocks stay valid, which is the regime where victim policies differ;
+    3. drain the write buffer and reset measurement, so subsequent ``run()``
+       calls report steady-state statistics only.
+
+    Returns the preconditioned footprint in pages (use it to bound the
+    measured workload so it overwrites aged data rather than virgin space).
+    """
+    if not 0.0 < fill_fraction <= 1.0:
+        raise ValueError("fill_fraction must be in (0, 1]")
+    if overwrite_fraction < 0.0:
+        raise ValueError("overwrite_fraction must be non-negative")
+    logical_pages = ssd.config.logical_pages
+    footprint = max(extent, int(logical_pages * fill_fraction))
+    footprint = min(footprint, logical_pages)
+    for lpa in range(0, footprint - extent + 1, extent):
+        ssd.process("W", lpa, extent)
+    rng = random.Random(seed)
+    span = 4
+    overwrites = int(footprint * overwrite_fraction) // span
+    for _ in range(overwrites):
+        lpa = zipf_lpa(rng, max(1, footprint - span), zipf_alpha)
+        ssd.process("W", lpa, span)
+    ssd.flush()
+    # Let the aging traffic drain: without this the first measured requests
+    # queue behind the preconditioning's final flush/GC reservations and the
+    # measured tail reflects the aging, not the workload.
+    ssd.quiesce()
+    reset_measurement(ssd)
+    return footprint
+
+
+def steady_state_workload(
+    footprint_pages: int,
+    num_requests: int,
+    seed: int = 23,
+    read_ratio: float = 0.4,
+    zipf_alpha: float = 0.85,
+    max_span: int = 8,
+) -> List[Tuple[str, int, int]]:
+    """An overwrite-heavy, Zipf-skewed request mix for GC studies.
+
+    Every request targets the preconditioned footprint, so writes are
+    overwrites (sustaining GC pressure) and reads hit aged data (measuring
+    GC interference).  Deterministic given ``seed``.
+    """
+    rng = random.Random(seed)
+    requests: List[Tuple[str, int, int]] = []
+    upper = max(1, footprint_pages - max_span)
+    for _ in range(num_requests):
+        lpa = zipf_lpa(rng, upper, zipf_alpha)
+        op = "R" if rng.random() < read_ratio else "W"
+        requests.append((op, lpa, rng.randint(1, max_span)))
+    return requests
 
 
 def reset_measurement(ssd: SimulatedSSD) -> None:

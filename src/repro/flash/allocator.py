@@ -1,13 +1,20 @@
-"""Flash block allocation.
+"""Flash block allocation with hot/cold write-stream separation.
 
 The allocator owns the free-block pool and hands out *active* blocks that the
-write path programs sequentially.  Two properties matter for LeaFTL:
+write path programs sequentially.  Three properties matter for LeaFTL:
 
 * a flush of the LPA-sorted write buffer receives **consecutive PPAs** inside
   one (or a few) freshly allocated blocks, which is what lets the piecewise
   linear regression learn long segments (Section 3.3 of the paper);
 * allocation is wear-aware: among free blocks of the chosen channel the one
-  with the lowest erase count is preferred, supporting wear leveling.
+  with the lowest erase count is preferred, supporting wear leveling;
+* writes are tagged with a **stream**: host data ("hot") and GC/wear-leveling
+  migrations ("cold") land in separate open blocks, so short-lived host pages
+  never share a block with long-lived migrated pages.  Each stream keeps its
+  open block across flushes and fills it to the end before opening another,
+  which both avoids wasting the tail of partially-filled blocks and gives
+  GC victims a coherent lifetime profile (the separation that makes
+  cost-benefit victim selection meaningful).
 
 The allocator also tracks which blocks are candidates for garbage collection
 (fully programmed, not free, not currently active).
@@ -16,9 +23,13 @@ The allocator also tracks which blocks are candidates for garbage collection
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.flash.flash_array import FlashArray
+
+#: Write streams recognised by the allocator.  Host writes are "hot";
+#: GC and wear-leveling migrations are "cold".
+STREAMS = ("hot", "cold")
 
 
 class OutOfSpaceError(RuntimeError):
@@ -34,7 +45,7 @@ class AllocationStats:
 
 
 class BlockAllocator:
-    """Round-robin, wear-aware free block allocator."""
+    """Round-robin, wear-aware free block allocator with write streams."""
 
     def __init__(self, flash: FlashArray) -> None:
         self._flash = flash
@@ -42,6 +53,8 @@ class BlockAllocator:
         channels = self._geometry.channels
         self._free_blocks: List[Set[int]] = [set() for _ in range(channels)]
         self._active_blocks: Set[int] = set()
+        #: Open (partially programmed, still active) block of each stream.
+        self._stream_blocks: Dict[str, int] = {}
         self._next_channel = 0
         self.stats = AllocationStats()
 
@@ -67,6 +80,10 @@ class BlockAllocator:
     def is_active(self, block: int) -> bool:
         return block in self._active_blocks
 
+    def stream_block(self, stream: str) -> Optional[int]:
+        """The stream's currently open block, or ``None``."""
+        return self._stream_blocks.get(stream)
+
     def gc_candidates(self) -> List[int]:
         """Blocks eligible for garbage collection.
 
@@ -89,17 +106,29 @@ class BlockAllocator:
     # ------------------------------------------------------------------ #
     # Allocation / reclamation
     # ------------------------------------------------------------------ #
-    def allocate_block(self, channel: Optional[int] = None) -> int:
+    def allocate_block(
+        self, channel: Optional[int] = None, stream: Optional[str] = None
+    ) -> int:
         """Take a block out of the free pool and mark it active.
 
-        When ``channel`` is ``None`` the allocator rotates across channels to
-        spread programs (and therefore later reads) over the whole array.
-        Within the chosen channel the least-worn free block is returned.
+        When ``channel`` is ``None`` the allocator places the block by
+        stream: the hot (host) stream rotates across channels to spread
+        programs — and therefore later reads — over the whole array, while
+        the cold (migration) stream asks the NAND scheduler for the
+        least-busy channel so background traffic contends as little as
+        possible with foreground reads.  Within the chosen channel the
+        least-worn free block is returned.
         """
         channels = self._geometry.channels
         order: List[int]
         if channel is not None:
             order = [channel]
+        elif stream == "cold":
+            with_free = [ch for ch in range(channels) if self._free_blocks[ch]]
+            if not with_free:
+                raise OutOfSpaceError("no free flash block available")
+            best = self._flash.scheduler.least_busy_channel(with_free)
+            order = [best] + [ch for ch in with_free if ch != best]
         else:
             order = [(self._next_channel + i) % channels for i in range(channels)]
             self._next_channel = (self._next_channel + 1) % channels
@@ -115,6 +144,38 @@ class BlockAllocator:
             return block
         raise OutOfSpaceError("no free flash block available")
 
+    def frontier(self, stream: str) -> Tuple[int, int, int]:
+        """The stream's programming frontier: ``(block, next_ppa, room)``.
+
+        Returns the open block of ``stream``, the PPA of its next free page
+        and the number of pages left in it, opening a fresh block when the
+        stream has none or the current one is full.  The write path programs
+        ``room``-bounded chunks at the frontier, which keeps the consecutive
+        PPA property learned segments depend on while filling every block to
+        the end.
+        """
+        if stream not in STREAMS:
+            raise ValueError(f"unknown stream {stream!r}; known: {STREAMS}")
+        block = self._stream_blocks.get(stream)
+        if block is None or self._flash.block_is_full(block):
+            if block is not None:
+                self.seal_block(block)
+                self._stream_blocks.pop(stream, None)
+            block = self.allocate_block(stream=stream)
+            self._stream_blocks[stream] = block
+        pointer = self._flash.write_pointer(block)
+        next_ppa = self._geometry.first_ppa_of_block(block) + pointer
+        return block, next_ppa, self._geometry.pages_per_block - pointer
+
+    def seal_if_full(self, block: int) -> None:
+        """Seal ``block`` (and release its stream slot) once fully written."""
+        if not self._flash.block_is_full(block):
+            return
+        self.seal_block(block)
+        for stream, open_block in list(self._stream_blocks.items()):
+            if open_block == block:
+                del self._stream_blocks[stream]
+
     def seal_block(self, block: int) -> None:
         """Mark an active block as fully written (no longer active)."""
         self._active_blocks.discard(block)
@@ -125,6 +186,9 @@ class BlockAllocator:
             raise ValueError(f"block {block} is not erased; cannot release")
         channel = self._geometry.block_to_channel(block)
         self._active_blocks.discard(block)
+        for stream, open_block in list(self._stream_blocks.items()):
+            if open_block == block:  # pragma: no cover - defensive
+                del self._stream_blocks[stream]
         self._free_blocks[channel].add(block)
         self.stats.blocks_reclaimed += 1
 

@@ -64,6 +64,10 @@ class _BlockState:
     valid_pages: int = 0
     #: Next page offset to program (NAND requires in-order programming).
     write_pointer: int = 0
+    #: Array-wide logical op-clock value of the last state change (program,
+    #: invalidate or erase touching this block).  Age-aware GC victim
+    #: policies (cost-benefit) read it through :meth:`FlashArray.block_age`.
+    last_modified_op: int = 0
 
 
 class FlashArray:
@@ -85,6 +89,10 @@ class FlashArray:
             config.channels, config.dies_per_channel
         )
         self.counters = FlashCounters()
+        #: Logical clock: increments on every program/invalidate/erase.  It
+        #: orders block modifications without depending on simulated time,
+        #: so block ages are identical across replay engines.
+        self._op_clock = 0
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -110,6 +118,15 @@ class FlashArray:
 
     def erase_count(self, block: int) -> int:
         return self._blocks[block].erase_count
+
+    def block_age(self, block: int) -> int:
+        """Logical age: array-wide operations since the block last changed.
+
+        A block that has not been programmed, invalidated or erased for many
+        operations holds cold data; cost-benefit GC weighs this age against
+        the migration cost of the block's valid pages.
+        """
+        return self._op_clock - self._blocks[block].last_modified_op
 
     def valid_page_count(self, block: int) -> int:
         return self._blocks[block].valid_pages
@@ -221,6 +238,8 @@ class FlashArray:
         self._oob[ppa] = oob if oob is not None else OOBArea(lpa=lpa)
         block_state.valid_pages += 1
         block_state.write_pointer += 1
+        self._op_clock += 1
+        block_state.last_modified_op = self._op_clock
         self.counters.page_writes += 1
         # Programs proceed inside a die; the channel bus is only occupied for
         # the data transfer share, so concurrent programs on other dies
@@ -241,6 +260,8 @@ class FlashArray:
         self._page_state[ppa] = PageState.INVALID
         block = self._geometry.block_of(ppa)
         self._blocks[block].valid_pages -= 1
+        self._op_clock += 1
+        self._blocks[block].last_modified_op = self._op_clock
 
     def erase_block(self, block: int, now_us: float = 0.0) -> float:
         """Erase a whole block; all its pages become FREE again."""
@@ -257,6 +278,8 @@ class FlashArray:
         state = self._blocks[block]
         state.erase_count += 1
         state.write_pointer = 0
+        self._op_clock += 1
+        state.last_modified_op = self._op_clock
         self.counters.block_erases += 1
         occupancy = self._config.erase_latency_us / self._config.dies_per_channel
         return self._scheduler.reserve(

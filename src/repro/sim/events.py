@@ -21,6 +21,15 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
+#: Canonical event priorities.  Same-timestamp events fire in ascending
+#: priority order, so foreground request handling always precedes background
+#: completion bookkeeping, which precedes garbage-collection pipeline steps.
+#: Keeping the ordering in one place makes the interleaving semantics of the
+#: whole simulator auditable (and deterministic by construction).
+PRIORITY_FOREGROUND = 0
+PRIORITY_BACKGROUND = 1
+PRIORITY_GC = 2
+
 
 @dataclass
 class Event:

@@ -35,7 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Tuple
 
-from repro.sim.events import Event, EventLoop
+from repro.sim.events import Event, EventLoop, PRIORITY_FOREGROUND
 from repro.workloads.trace import IORequest, ReplayItem, as_request
 
 #: Legacy alias: one host request as a bare tuple.
@@ -95,7 +95,11 @@ class HostFrontend:
         if item is None:
             return False
         self._loop.schedule(
-            at_us, "request_issue", self._issue, payload=as_request(item)
+            at_us,
+            "request_issue",
+            self._issue,
+            payload=as_request(item),
+            priority=PRIORITY_FOREGROUND,
         )
         return True
 
@@ -108,7 +112,11 @@ class HostFrontend:
         finish = self._device.submit(
             request.op, request.lpa, request.npages, at_us=event.time_us
         )
-        self._loop.schedule(finish, "request_complete", self._complete)
+        # Completions fire at foreground priority so a freed NCQ slot admits
+        # the next request before any same-timestamp background GC step runs.
+        self._loop.schedule(
+            finish, "request_complete", self._complete, priority=PRIORITY_FOREGROUND
+        )
 
     def _complete(self, event: Event) -> None:
         self._outstanding -= 1
@@ -182,6 +190,7 @@ class OpenLoopFrontend:
             "request_arrival",
             self._issue,
             payload=request,
+            priority=PRIORITY_FOREGROUND,
         )
 
     def _issue(self, event: Event) -> None:
@@ -193,7 +202,9 @@ class OpenLoopFrontend:
         finish = self._device.submit(
             request.op, request.lpa, request.npages, at_us=event.time_us
         )
-        self._loop.schedule(finish, "request_complete", self._complete)
+        self._loop.schedule(
+            finish, "request_complete", self._complete, priority=PRIORITY_FOREGROUND
+        )
         self._schedule_next_arrival()
 
     def _complete(self, event: Event) -> None:

@@ -28,7 +28,7 @@ Two timing models are supported:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 TIMING_MODELS = ("bus", "die")
 
@@ -80,6 +80,16 @@ class NANDScheduler:
         if now_us <= 0.0:
             return 0.0
         return min(1.0, self._bus_time_us[channel] / now_us)
+
+    def least_busy_channel(self, candidates: Optional[Sequence[int]] = None) -> int:
+        """The channel whose bus frees up earliest (ties → lowest index).
+
+        Background traffic (GC migrations, wear-leveling moves) uses this to
+        place its destination blocks where it will contend least with
+        foreground reads.  Deterministic, so replays stay reproducible.
+        """
+        pool = range(self._channels) if candidates is None else candidates
+        return min(pool, key=lambda ch: (self._bus_busy_until[ch], ch))
 
     # ------------------------------------------------------------------ #
     # Scheduling

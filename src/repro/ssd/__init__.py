@@ -1,7 +1,16 @@
 """SSD substrate: cache, write buffer, GC, wear leveling and the device model."""
 
 from repro.ssd.cache import CacheStats, LRUDataCache
-from repro.ssd.gc import GCPolicyConfig, GreedyGCPolicy
+from repro.ssd.gc import (
+    BackgroundGCController,
+    CostBenefitGCPolicy,
+    DChoicesGCPolicy,
+    GC_POLICIES,
+    GCPolicy,
+    GCPolicyConfig,
+    GreedyGCPolicy,
+    make_gc_policy,
+)
 from repro.ssd.ssd import SimulatedSSD, SimulationError, SSDOptions
 from repro.ssd.stats import LatencyRecorder, SSDStats
 from repro.ssd.wear_leveling import WearLeveler, WearLevelingConfig
@@ -10,8 +19,14 @@ from repro.ssd.write_buffer import WriteBuffer, WriteBufferStats
 __all__ = [
     "CacheStats",
     "LRUDataCache",
+    "BackgroundGCController",
+    "CostBenefitGCPolicy",
+    "DChoicesGCPolicy",
+    "GC_POLICIES",
+    "GCPolicy",
     "GCPolicyConfig",
     "GreedyGCPolicy",
+    "make_gc_policy",
     "SimulatedSSD",
     "SimulationError",
     "SSDOptions",

@@ -1,23 +1,63 @@
-"""Garbage collection policy (Section 3.6 of the paper).
+"""Garbage collection: pluggable victim policies and the background pipeline.
 
-LeaFTL preserves the conventional GC policy of modern SSDs: when the free
-block ratio drops below a threshold, the *greedy* policy picks the candidate
-blocks with the fewest valid pages (minimising migration traffic), migrates
-their valid pages to freshly allocated blocks and erases them.
-
-The policy layer here is deliberately separate from the mechanism (which
-lives in :class:`repro.ssd.ssd.SimulatedSSD`): the policy decides *when* to
-collect and *which* blocks to collect; the SSD performs the page movement,
+LeaFTL preserves the conventional GC of modern SSDs (Section 3.6 of the
+paper): when the free-block ratio drops below a threshold, victim blocks are
+selected, their valid pages migrated to freshly allocated blocks and the
+victims erased.  This module owns the *policy* side — when to collect, which
+blocks to pick — and the *scheduling* side of background collection; the SSD
+model (:class:`repro.ssd.ssd.SimulatedSSD`) performs the page movement,
 relearns the affected mappings and erases the victims.
+
+Victim policies (all behind the :class:`GCPolicy` interface):
+
+``greedy``
+    Fewest-valid-pages-first — minimises migration traffic *now*.  The
+    classic default; tends to thrash on skewed workloads because recently
+    written (hot) blocks with momentarily few valid pages get collected just
+    before their remaining pages are overwritten anyway.
+``cost_benefit``
+    The LFS cost-benefit score ``age * (1 - u) / (1 + u)`` where ``u`` is
+    the block's valid-page ratio and ``age`` counts array-wide operations
+    since the block last changed: old, mostly-invalid blocks are collected
+    first, while hot blocks are given time to accumulate more invalid pages.
+``d_choices``
+    Samples ``d`` random candidates and takes the one with the fewest valid
+    pages — the "power of d choices" approximation of greedy that real
+    controllers use when scanning every block's metadata per invocation is
+    too expensive.  Deterministically seeded.
+
+Every policy skips victims with **no reclaimable space**: migrating a fully
+valid block consumes exactly as many pages as erasing it frees, so such an
+invocation would burn migration bandwidth for zero net gain.  Only below the
+*hard watermark* — free blocks critically low — are fully-valid victims
+allowed (the device must make forward progress even if only wear-moving).
+
+Background collection (:class:`BackgroundGCController`) runs the same
+migrate/erase mechanism as a pipeline of events on the simulator's event
+loop: one victim in flight at a time, staged as read → program → erase, each
+stage issued at the previous stage's completion.  Foreground requests that
+arrive between stages reserve the NAND channels first, so a read waits for
+at most one in-flight stage instead of a whole multi-victim reclaim burst —
+this is what flattens the GC-interference tail latencies.
 """
 
 from __future__ import annotations
 
+import abc
+import random
 from dataclasses import dataclass
-from typing import List
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.flash.allocator import BlockAllocator
 from repro.flash.flash_array import FlashArray
+from repro.sim.events import PRIORITY_GC
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.sim.events import Event
+    from repro.ssd.ssd import SimulatedSSD
+
+#: Victim-policy names accepted by :func:`make_gc_policy`.
+GC_POLICIES = ("greedy", "cost_benefit", "d_choices")
 
 
 @dataclass
@@ -30,18 +70,31 @@ class GCPolicyConfig:
     restore: float = 0.25
     #: Upper bound of victims processed per invocation (keeps pauses short).
     max_victims_per_invocation: int = 64
+    #: Critically-low free-block ratio: below it host writes are throttled
+    #: behind an urgent synchronous reclaim, and victim selection may fall
+    #: back to fully-valid blocks as a last resort.  ``None`` (the default)
+    #: derives it from the threshold — ``min(0.04, threshold / 2)`` — so any
+    #: valid threshold yields a valid watermark.
+    hard_watermark: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.threshold < self.restore <= 1.0:
             raise ValueError("require 0 < threshold < restore <= 1")
         if self.max_victims_per_invocation <= 0:
             raise ValueError("max_victims_per_invocation must be positive")
+        if self.hard_watermark is None:
+            self.hard_watermark = min(0.04, self.threshold / 2.0)
+        if not 0.0 < self.hard_watermark < self.threshold:
+            raise ValueError("require 0 < hard_watermark < threshold")
 
 
-class GreedyGCPolicy:
-    """Greedy (min-valid-pages-first) victim selection."""
+class GCPolicy(abc.ABC):
+    """Victim-selection policy: decides *when* and *which*, never *how*."""
 
-    def __init__(self, config: GCPolicyConfig | None = None) -> None:
+    #: Name the policy registers under (reports, :func:`make_gc_policy`).
+    name: str = "base"
+
+    def __init__(self, config: Optional[GCPolicyConfig] = None) -> None:
         self.config = config or GCPolicyConfig()
 
     def should_collect(self, allocator: BlockAllocator) -> bool:
@@ -52,14 +105,274 @@ class GreedyGCPolicy:
         """True when enough free blocks have been reclaimed."""
         return allocator.free_ratio() >= self.config.restore
 
+    def below_hard_watermark(self, allocator: BlockAllocator) -> bool:
+        """True when free blocks are critically low (urgent reclaim regime)."""
+        return allocator.free_ratio() < self.config.hard_watermark
+
+    def eligible_victims(
+        self, flash: FlashArray, allocator: BlockAllocator, urgent: bool = False
+    ) -> List[int]:
+        """Candidates that would reclaim space if collected.
+
+        Fully-valid blocks are zero-progress victims — migrating them
+        consumes exactly the pages their erase frees — so they are excluded
+        unless the device is below the hard watermark (``urgent``) *and* no
+        better candidate exists.
+        """
+        candidates = allocator.gc_candidates()
+        pages_per_block = flash.geometry.pages_per_block
+        reclaimable = [
+            block
+            for block in candidates
+            if flash.valid_page_count(block) < pages_per_block
+        ]
+        if reclaimable or not urgent:
+            return reclaimable
+        return candidates
+
+    @abc.abstractmethod
     def select_victims(
-        self, flash: FlashArray, allocator: BlockAllocator
+        self, flash: FlashArray, allocator: BlockAllocator, urgent: bool = False
+    ) -> List[int]:
+        """Victim blocks for one invocation, best candidates first."""
+
+
+class GreedyGCPolicy(GCPolicy):
+    """Greedy (min-valid-pages-first) victim selection."""
+
+    name = "greedy"
+
+    def select_victims(
+        self, flash: FlashArray, allocator: BlockAllocator, urgent: bool = False
     ) -> List[int]:
         """Candidate blocks ordered by ascending valid-page count.
 
         Blocks with zero valid pages come first (they can be erased without
         any migration); the list is truncated to the per-invocation limit.
         """
-        candidates = allocator.gc_candidates()
+        candidates = self.eligible_victims(flash, allocator, urgent)
         ordered = flash.blocks_by_valid_pages(candidates)
         return ordered[: self.config.max_victims_per_invocation]
+
+
+class CostBenefitGCPolicy(GCPolicy):
+    """LFS cost-benefit victim selection (Rosenblum & Ousterhout).
+
+    Scores each candidate as ``age * (1 - u) / (1 + u)`` — the space freed
+    per unit migration cost, weighted by how long the block has been stable.
+    Old, mostly-invalid blocks win; hot blocks that are still accumulating
+    invalidations are deferred until collecting them is cheaper.
+    """
+
+    name = "cost_benefit"
+
+    def select_victims(
+        self, flash: FlashArray, allocator: BlockAllocator, urgent: bool = False
+    ) -> List[int]:
+        candidates = self.eligible_victims(flash, allocator, urgent)
+        pages_per_block = flash.geometry.pages_per_block
+
+        def score(block: int) -> float:
+            utilization = flash.valid_page_count(block) / pages_per_block
+            return flash.block_age(block) * (1.0 - utilization) / (1.0 + utilization)
+
+        ordered = sorted(candidates, key=lambda block: (-score(block), block))
+        return ordered[: self.config.max_victims_per_invocation]
+
+
+class DChoicesGCPolicy(GCPolicy):
+    """Sampled greedy: each victim is the best of ``d`` random candidates.
+
+    Approximates greedy selection without scanning every block's metadata —
+    the classic "power of d choices" trade-off.  The sampling RNG is seeded,
+    so replays remain deterministic.
+    """
+
+    name = "d_choices"
+
+    def __init__(
+        self,
+        config: Optional[GCPolicyConfig] = None,
+        d: int = 8,
+        seed: int = 17,
+    ) -> None:
+        super().__init__(config)
+        if d <= 0:
+            raise ValueError("d must be positive")
+        self.d = d
+        self._rng = random.Random(seed)
+
+    def select_victims(
+        self, flash: FlashArray, allocator: BlockAllocator, urgent: bool = False
+    ) -> List[int]:
+        pool = self.eligible_victims(flash, allocator, urgent)
+        victims: List[int] = []
+        limit = min(self.config.max_victims_per_invocation, len(pool))
+        while pool and len(victims) < limit:
+            sample = self._rng.sample(pool, min(self.d, len(pool)))
+            best = min(sample, key=lambda b: (flash.valid_page_count(b), b))
+            victims.append(best)
+            pool.remove(best)
+        return victims
+
+
+def make_gc_policy(
+    name: str, config: Optional[GCPolicyConfig] = None, **kwargs: object
+) -> GCPolicy:
+    """Instantiate a victim policy by name (see :data:`GC_POLICIES`)."""
+    key = name.replace("-", "_").lower()
+    if key == "greedy":
+        return GreedyGCPolicy(config)
+    if key == "cost_benefit":
+        return CostBenefitGCPolicy(config)
+    if key == "d_choices":
+        return DChoicesGCPolicy(config, **kwargs)  # type: ignore[arg-type]
+    raise ValueError(f"unknown GC policy {name!r}; known: {GC_POLICIES}")
+
+
+class BackgroundGCController:
+    """Drives garbage collection as an event pipeline overlapping host I/O.
+
+    One victim block is in flight at a time, staged through three events:
+
+    1. **read** — the victim's valid pages are read (reserving their channel
+       through the NAND scheduler at the event's timestamp);
+    2. **program** — at the reads' completion, the still-valid LPAs are
+       re-scanned (host overwrites racing the migration are skipped) and
+       programmed into the cold write stream;
+    3. **erase** — at the programs' completion the victim is erased and
+       returned to the free pool, and the next pipeline step is scheduled.
+
+    Because each stage only reserves NAND time when its event fires,
+    foreground requests issued between stages take their place in the
+    channel FCFS order ahead of the *next* GC stage — the yielding that
+    bounds GC interference to roughly one stage instead of a whole
+    multi-victim reclaim burst.  The controller stops once the policy's
+    restore watermark is reached (or no eligible victim remains).
+    """
+
+    def __init__(self, device: "SimulatedSSD", policy: GCPolicy) -> None:
+        self._device = device
+        self.policy = policy
+        self._running = False
+        self._pending: List[int] = []
+        self._in_flight: Optional[int] = None
+
+    @property
+    def running(self) -> bool:
+        """True while the pipeline has events in flight."""
+        return self._running
+
+    @property
+    def in_flight(self) -> Optional[int]:
+        """The victim block currently mid-pipeline, if any."""
+        return self._in_flight
+
+    # ------------------------------------------------------------------ #
+    # Activation
+    # ------------------------------------------------------------------ #
+    def maybe_start(self, at_us: float) -> bool:
+        """Kick off a background run if one is due; returns ``running``."""
+        device = self._device
+        if self._running:
+            return True
+        if device._loop is None or not self.policy.should_collect(device.allocator):
+            return False
+        self._running = True
+        device.stats.gc_invocations += 1
+        device.stats.gc_background_runs += 1
+        device._loop.schedule(
+            at_us, "gc_step", self._select_step, priority=PRIORITY_GC
+        )
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Pipeline stages
+    # ------------------------------------------------------------------ #
+    def _select_step(self, event: "Event") -> None:
+        device = self._device
+        self._in_flight = None
+        if self.policy.should_stop(device.allocator):
+            self._running = False
+            self._pending.clear()
+            return
+        victim = self._next_victim()
+        if victim is None:
+            self._running = False
+            return
+        self._in_flight = victim
+        device.stats.gc_victim_blocks += 1
+        self._read_stage(victim, event.time_us)
+
+    def _next_victim(self) -> Optional[int]:
+        device = self._device
+        urgent = self.policy.below_hard_watermark(device.allocator)
+        queue = self._pending
+        if not queue:
+            queue = list(
+                self.policy.select_victims(device.flash, device.allocator, urgent=urgent)
+            )
+        while queue:
+            block = queue.pop(0)
+            if self._collectable(block):
+                self._pending = queue
+                return block
+        self._pending = []
+        return None
+
+    def _collectable(self, block: int) -> bool:
+        """Re-validate a victim at fire time (state may have moved on)."""
+        device = self._device
+        return (
+            not device.allocator.is_active(block)
+            and not device.flash.block_is_free(block)
+        )
+
+    def _read_stage(self, block: int, now_us: float) -> None:
+        """Stage 1: read the victim's valid pages."""
+        device = self._device
+        read_finish = now_us
+        for ppa in device.flash.valid_ppas_of_block(block):
+            read_finish = max(read_finish, device.flash.read_page(ppa, now_us=now_us))
+            device.stats.gc_page_reads += 1
+        device._loop.schedule(
+            read_finish, "gc_program", self._program_stage,
+            payload=block, priority=PRIORITY_GC,
+        )
+
+    def _program_stage(self, event: "Event") -> None:
+        """Stage 2: migrate the still-valid LPAs into the cold stream."""
+        device = self._device
+        block: int = event.payload  # type: ignore[assignment]
+        # Re-scan validity: pages the host overwrote since the read stage
+        # are stale now and must not be migrated (their read was wasted
+        # bandwidth, which is exactly what happens in a real controller).
+        lpas = sorted(
+            {
+                device.flash.lpa_of(ppa)
+                for ppa in device.flash.valid_ppas_of_block(block)
+            }
+        )
+        finish = event.time_us
+        if lpas:
+            finish = device._program_batch(lpas, purpose="gc", at_us=event.time_us)
+        device._loop.schedule(
+            finish, "gc_erase", self._erase_stage, payload=block, priority=PRIORITY_GC
+        )
+
+    def _erase_stage(self, event: "Event") -> None:
+        """Stage 3: erase the drained victim, then pipeline the next one."""
+        device = self._device
+        block: int = event.payload  # type: ignore[assignment]
+        finish = event.time_us
+        if (
+            not device.flash.block_is_free(block)
+            and device.flash.valid_page_count(block) == 0
+        ):
+            finish = device.flash.erase_block(block, now_us=event.time_us)
+            device.stats.gc_block_erases += 1
+            device.allocator.release_block(block)
+        self._in_flight = None
+        device._loop.schedule(
+            finish, "gc_step", self._select_step, priority=PRIORITY_GC
+        )

@@ -11,8 +11,15 @@ SSD controller at the level of detail the LeaFTL evaluation depends on:
 * per-channel latency accounting: every flash read/program/erase occupies
   its channel, so background flushes and GC delay later reads that land on
   the same channel;
-* greedy garbage collection and throttled wear leveling that relearn the
-  mappings of migrated pages (Section 3.6);
+* garbage collection with pluggable victim policies (greedy, cost-benefit,
+  d-choices) and throttled wear leveling that relearn the mappings of
+  migrated pages (Section 3.6); GC runs either as the classic synchronous
+  reclaim loop (``SSDOptions.gc_mode="sync"``) or as a background event
+  pipeline (``"background"``) that migrates one victim at a time through
+  read → program → erase stages overlapping host I/O, with a hard
+  watermark that throttles host writes when free blocks are critically
+  low; host data and migrated (cold) data are programmed into separate
+  allocator streams so they never share a flash block;
 * OOB reverse mappings written with every page, including the
   ``[-gamma, +gamma]`` neighbour window LeaFTL needs to correct
   mispredictions with a single extra flash read (Section 3.5);
@@ -73,7 +80,13 @@ from repro.sim.frontend import HostFrontend, OpenLoopFrontend
 from repro.sim.nand import NANDScheduler, TIMING_MODELS
 from repro.workloads.trace import ReplayItem, as_request
 from repro.ssd.cache import LRUDataCache
-from repro.ssd.gc import GCPolicyConfig, GreedyGCPolicy
+from repro.ssd.gc import (
+    BackgroundGCController,
+    GCPolicy,
+    GCPolicyConfig,
+    GreedyGCPolicy,
+    make_gc_policy,
+)
 from repro.ssd.stats import SSDStats
 from repro.ssd.wear_leveling import WearLeveler, WearLevelingConfig
 from repro.ssd.write_buffer import WriteBuffer
@@ -88,6 +101,13 @@ ENGINES = ("auto", "serial", "events")
 
 #: Valid values of :attr:`SSDOptions.replay_mode`.
 REPLAY_MODES = ("closed", "open")
+
+#: Valid values of :attr:`SSDOptions.gc_mode`.
+GC_MODES = ("sync", "background")
+
+#: Which allocator write stream each program purpose lands in: host data is
+#: hot, GC/wear-leveling migrations are cold (Section 3.6 stream separation).
+STREAM_OF_PURPOSE = {"host": "hot", "gc": "cold", "wear": "cold"}
 
 
 @dataclass
@@ -118,6 +138,12 @@ class SSDOptions:
     #: Multiplier on trace inter-arrival times in open-loop replay:
     #: ``0.5`` doubles the arrival rate, ``2.0`` halves it.
     time_scale: float = 1.0
+    #: Garbage-collection scheduling: ``"sync"`` runs the classic blocking
+    #: reclaim loop at flush time; ``"background"`` pipelines per-victim
+    #: migrate/erase events through the event loop, overlapping host I/O
+    #: (falls back to the synchronous loop when no event loop is attached,
+    #: e.g. on the serial fast path or the final drain flush).
+    gc_mode: str = "sync"
 
 
 class SimulatedSSD:
@@ -130,6 +156,7 @@ class SimulatedSSD:
         dram_budget: Optional[DRAMBudget] = None,
         options: Optional[SSDOptions] = None,
         gc_config: Optional[GCPolicyConfig] = None,
+        gc_policy: Optional[GCPolicy | str] = None,
         wear_config: Optional[WearLevelingConfig] = None,
     ) -> None:
         self.config = config
@@ -146,6 +173,8 @@ class SimulatedSSD:
             raise ValueError(f"replay_mode must be one of {REPLAY_MODES}")
         if self.options.time_scale <= 0.0:
             raise ValueError("time_scale must be positive")
+        if self.options.gc_mode not in GC_MODES:
+            raise ValueError(f"gc_mode must be one of {GC_MODES}")
 
         gamma = self._ftl_oob_window()
         validate_gamma_fits_oob(gamma, config.oob_size)
@@ -162,10 +191,16 @@ class SimulatedSSD:
             sort_on_flush=self.options.sort_buffer_on_flush,
         )
         self.cache = LRUDataCache(capacity_pages=self._cache_capacity_pages())
-        self.gc_policy = GreedyGCPolicy(
-            gc_config
-            or GCPolicyConfig(threshold=config.gc_threshold, restore=config.gc_restore)
+        policy_config = gc_config or GCPolicyConfig(
+            threshold=config.gc_threshold, restore=config.gc_restore
         )
+        if gc_policy is None:
+            self.gc_policy: GCPolicy = GreedyGCPolicy(policy_config)
+        elif isinstance(gc_policy, str):
+            self.gc_policy = make_gc_policy(gc_policy, policy_config)
+        else:
+            self.gc_policy = gc_policy
+        self._bg_gc = BackgroundGCController(self, self.gc_policy)
         self.wear_leveler = (
             WearLeveler(wear_config) if self.options.wear_leveling else None
         )
@@ -229,6 +264,18 @@ class SimulatedSSD:
         """Move the serial clock forward to the latest completion seen."""
         if finish_us > self._now_us:
             self._now_us = finish_us
+
+    def quiesce(self) -> float:
+        """Let all in-flight flash work finish (in simulated time).
+
+        Advances the device clock to the busiest channel's horizon, so the
+        next request starts on idle hardware.  Call between an aging /
+        warm-up phase and a measured phase: otherwise the first measured
+        requests queue behind the warm-up's final flush/GC reservations and
+        the measured tail reflects the warm-up, not the workload.
+        """
+        self._advance(self._horizon_us())
+        return self._now_us
 
     def begin_measurement(self) -> None:
         """Reset the statistics and anchor measured time at the present.
@@ -334,6 +381,7 @@ class SimulatedSSD:
         self.cache.resize(self._cache_capacity_pages())
         self._maybe_collect_garbage(at_us=clock)
         self._maybe_level_wear(at_us=clock)
+        self._throttle_if_critical(clock)
 
     # ------------------------------------------------------------------ #
     # Programming batches (host flush, GC migration, wear leveling)
@@ -341,7 +389,12 @@ class SimulatedSSD:
     def _program_batch(
         self, lpas: Sequence[int], purpose: str, at_us: Optional[float] = None
     ) -> float:
-        """Program ``lpas`` block by block, learn mappings, invalidate old pages.
+        """Program ``lpas`` at the purpose's stream frontier, learn mappings.
+
+        Writes are tagged by purpose: host data goes to the **hot** stream,
+        GC/wear migrations to the **cold** stream — each stream fills its
+        own open block to the end before taking a fresh one, so short-lived
+        host pages never share a block with long-lived migrated pages.
 
         Returns the completion time of the last program operation.  The
         programs are *issued* at ``at_us``; their completion times come from
@@ -350,18 +403,21 @@ class SimulatedSSD:
         """
         clock = self._clock(at_us)
         finish = clock
-        pages_per_block = self.config.pages_per_block
-        for start in range(0, len(lpas), pages_per_block):
-            chunk = lpas[start : start + pages_per_block]
-            finish = max(finish, self._program_block_chunk(chunk, purpose, clock))
+        stream = STREAM_OF_PURPOSE[purpose]
+        index = 0
+        while index < len(lpas):
+            block, next_ppa, room = self.allocator.frontier(stream)
+            chunk = lpas[index : index + room]
+            index += len(chunk)
+            finish = max(
+                finish, self._program_chunk(block, next_ppa, chunk, purpose, clock)
+            )
         self._notify_background(f"{purpose}_program_done", finish)
         return finish
 
-    def _program_block_chunk(
-        self, chunk: Sequence[int], purpose: str, at_us: float
+    def _program_chunk(
+        self, block: int, first_ppa: int, chunk: Sequence[int], purpose: str, at_us: float
     ) -> float:
-        block = self.allocator.allocate_block()
-        first_ppa = self.flash.geometry.first_ppa_of_block(block)
         mappings: List[Tuple[int, int]] = [
             (lpa, first_ppa + offset) for offset, lpa in enumerate(chunk)
         ]
@@ -380,7 +436,7 @@ class SimulatedSSD:
             self._current_ppa[lpa] = ppa
             if purpose == "host":
                 self.cache.mark_clean(lpa)
-        self.allocator.seal_block(block)
+        self.allocator.seal_if_full(block)
 
         self.ftl.update_batch(mappings)
         self._sync_translation_counters(at_us, foreground=False)
@@ -567,14 +623,28 @@ class SimulatedSSD:
     # ------------------------------------------------------------------ #
     def _maybe_collect_garbage(self, at_us: Optional[float] = None) -> None:
         clock = self._clock(at_us)
-        if self._in_gc or not self.gc_policy.should_collect(self.allocator):
+        if self.options.gc_mode == "background" and self._loop is not None:
+            # Background mode: hand reclaim to the event pipeline, which
+            # overlaps migrations with host I/O (one victim in flight).
+            self._bg_gc.maybe_start(clock)
+            return
+        if (
+            self._in_gc
+            or self._bg_gc.running
+            or not self.gc_policy.should_collect(self.allocator)
+        ):
             return
         self._in_gc = True
         try:
             self.stats.gc_invocations += 1
             while not self.gc_policy.should_stop(self.allocator):
                 free_before = self.allocator.free_block_count()
-                victims = self.gc_policy.select_victims(self.flash, self.allocator)
+                urgent = self.gc_policy.below_hard_watermark(self.allocator)
+                victims = self._bounded_victims(
+                    self.gc_policy.select_victims(
+                        self.flash, self.allocator, urgent=urgent
+                    )
+                )
                 if not victims:
                     break
                 self._collect_blocks(victims, purpose="gc", at_us=clock)
@@ -585,18 +655,79 @@ class SimulatedSSD:
         finally:
             self._in_gc = False
 
+    def _throttle_if_critical(self, clock: float) -> None:
+        """Hard watermark: stall host writes behind an urgent reclaim.
+
+        When the free pool drops below the hard watermark (background GC
+        lagging a write burst), the device reclaims synchronously and the
+        reclaim's completion time extends the flush horizon — the next
+        buffer-filling write waits for it through the double-buffering
+        backpressure, which is how real controllers throttle hosts.
+        """
+        policy = self.gc_policy
+        if not policy.below_hard_watermark(self.allocator):
+            return
+        self.stats.gc_urgent_collections += 1
+        finish = clock
+        guard = self.allocator.total_blocks + 1
+        while policy.below_hard_watermark(self.allocator) and guard > 0:
+            guard -= 1
+            free_before = self.allocator.free_block_count()
+            victims = policy.select_victims(self.flash, self.allocator, urgent=True)
+            in_flight = self._bg_gc.in_flight
+            victims = self._bounded_victims(
+                [b for b in victims if b != in_flight][:4]
+            )
+            if not victims:
+                break
+            finish = max(
+                finish, self._collect_blocks(victims, purpose="gc", at_us=finish)
+            )
+            if self.allocator.free_block_count() <= free_before:
+                break
+        stall = max(0.0, finish - clock)
+        if stall > 0.0:
+            self.stats.gc_write_throttle_us += stall
+            self._prev_flush_finish_us = max(self._prev_flush_finish_us, finish)
+
+    def _bounded_victims(self, victims: Sequence[int]) -> List[int]:
+        """Prefix of ``victims`` whose migration fits the current free pool.
+
+        A migration batch consumes free blocks *before* the victims' erases
+        release any, so an unbounded batch can exhaust the pool mid-flight
+        on a small or nearly-full device.  Zero-valid victims cost nothing;
+        the first space-consuming victim is always kept so reclaim can make
+        progress even when the pool is down to its last blocks.
+        """
+        pages_per_block = self.config.pages_per_block
+        room = max(0, self.allocator.free_block_count() - 1) * pages_per_block
+        chosen: List[int] = []
+        migrating = False
+        pending = 0
+        for block in victims:
+            pending += self.flash.valid_page_count(block)
+            if migrating and pending > room:
+                break
+            chosen.append(block)
+            migrating = migrating or self.flash.valid_page_count(block) > 0
+        return chosen
+
     def _collect_blocks(
         self, blocks: Sequence[int], purpose: str, at_us: Optional[float] = None
-    ) -> None:
+    ) -> float:
         """Migrate the valid pages of several victims, then erase them.
 
         Valid pages from all victims are packed into shared destination
         blocks (one migration batch), which is what lets GC reclaim space
-        even when every victim still holds some valid data.
+        even when every victim still holds some valid data.  Returns the
+        completion time of the last migration/erase operation.
         """
         clock = self._clock(at_us)
+        finish = clock
         lpas: List[int] = []
         for block in blocks:
+            if purpose == "gc":
+                self.stats.gc_victim_blocks += 1
             for ppa in self.flash.valid_ppas_of_block(block):
                 self.flash.read_page(ppa, now_us=clock)
                 self.stats.gc_page_reads += 1
@@ -607,7 +738,10 @@ class SimulatedSSD:
         if lpas:
             # Section 3.6: migrated pages are sorted by LPA and relearned,
             # exactly like a regular buffer flush.
-            self._program_batch(sorted(set(lpas)), purpose=purpose, at_us=clock)
+            finish = max(
+                finish,
+                self._program_batch(sorted(set(lpas)), purpose=purpose, at_us=clock),
+            )
         erase_finish = clock
         erased = False
         for block in blocks:
@@ -622,7 +756,9 @@ class SimulatedSSD:
                 self.stats.gc_block_erases += 1
             self.allocator.release_block(block)
         if erased:
+            finish = max(finish, erase_finish)
             self._notify_background(f"{purpose}_erase_done", erase_finish)
+        return finish
 
     def _collect_block(
         self, block: int, purpose: str, at_us: Optional[float] = None
@@ -635,7 +771,10 @@ class SimulatedSSD:
     # ------------------------------------------------------------------ #
     def _maybe_level_wear(self, at_us: Optional[float] = None) -> None:
         leveler = self.wear_leveler
-        if leveler is None or not leveler.due(self.flash):
+        if leveler is None or self._bg_gc.running or not leveler.due(self.flash):
+            # While the background GC pipeline is mid-flight its victim must
+            # not be stolen by a wear-leveling migration; wear evens out on
+            # the next quiet check instead.
             return
         if not leveler.imbalanced(self.flash):
             return

@@ -127,6 +127,15 @@ class SSDStats:
     # Background activity.
     buffer_flushes: int = 0
     gc_invocations: int = 0
+    #: GC activations that ran as a background event pipeline (a subset of
+    #: ``gc_invocations``; the remainder ran synchronously).
+    gc_background_runs: int = 0
+    #: Victim blocks accepted for migration by GC (background or sync).
+    gc_victim_blocks: int = 0
+    #: Urgent (hard-watermark) synchronous reclaims that throttled writes.
+    gc_urgent_collections: int = 0
+    #: Total time host writes were stalled behind urgent reclaims (us).
+    gc_write_throttle_us: float = 0.0
     compactions: int = 0
 
     # Concurrency (event-driven engine).
@@ -223,6 +232,8 @@ class SSDStats:
             "simulated_time_us": self.simulated_time_us,
             "peak_mapping_bytes": float(self.peak_mapping_bytes),
             "gc_invocations": float(self.gc_invocations),
+            "gc_background_runs": float(self.gc_background_runs),
+            "gc_write_throttle_us": self.gc_write_throttle_us,
             "read_stall_us": self.read_stall_us,
             "max_outstanding_requests": float(self.max_outstanding_requests),
             "clipped_pages": float(self.clipped_pages),

@@ -117,12 +117,14 @@ def test_gc_reclaims_space_and_preserves_data():
     config = SSDConfig.tiny()
     ssd = make_ssd(gamma=4, config=config)
     footprint = int(config.logical_pages * 0.9)
-    # A full pass fills the device; the second pass overwrites only half of
-    # every block, so GC victims still hold valid pages and must migrate them.
+    # A full pass fills the device; the second pass overwrites the first
+    # half of every other 64-page extent, so GC victims are half-valid and
+    # must migrate their surviving pages (fully-valid blocks are skipped —
+    # migrating them would reclaim nothing).
     for lpa in range(0, footprint, 64):
         ssd.process("W", lpa, 64)
     for lpa in range(0, footprint, 128):
-        ssd.process("W", lpa, 64)
+        ssd.process("W", lpa, 32)
     ssd.flush()
     assert ssd.stats.gc_invocations > 0
     assert ssd.stats.gc_page_writes > 0
