@@ -73,6 +73,11 @@ def main() -> None:
         warmup_ssd(ssd, setup)
     if args.open_loop and not trace.has_timestamps():
         trace = trace.with_interarrival(setup.open_loop_interarrival_us)
+    if args.open_loop and not trace.timestamps_sorted():
+        # Real captures sometimes interleave completion records out of
+        # order; open-loop replay refuses unsorted arrivals, so repair.
+        print("note: trace timestamps out of order; sorting by arrival time")
+        trace = trace.sorted_by_timestamp()
     mode = "open-loop" if args.open_loop else "closed-loop"
     print(f"replaying through {args.ftl} ({mode}) ...")
     stats = ssd.run(trace)

@@ -19,6 +19,11 @@ Public API overview
     The event-driven engine: deterministic event loop, per-channel/per-die
     NAND scheduling and the NCQ-style host frontend used when replays run
     at ``queue_depth > 1``.
+``repro.host``
+    The NVMe-style multi-queue host interface above the device: namespaces
+    (disjoint LPA regions with per-tenant stats/SLOs), submission queues
+    with pluggable arbitration (round-robin, weighted round-robin, strict
+    priority, FIFO baseline) and token-bucket QoS rate limits.
 ``repro.workloads``
     Trace representation, MSR/FIU-like and database-style generators, and a
     parser for original MSR-format traces.
@@ -47,6 +52,13 @@ from repro.core import (
     learn_segments,
 )
 from repro.ftl import DFTL, FTL, PageLevelFTL, SFTL, TranslationResult
+from repro.host import (
+    ARBITERS,
+    HostInterface,
+    Namespace,
+    TokenBucket,
+    make_arbiter,
+)
 from repro.sim import EventLoop, HostFrontend, NANDScheduler, interleave_streams
 from repro.ssd import (
     GCPolicy,
@@ -76,6 +88,11 @@ __all__ = [
     "PageLevelFTL",
     "SFTL",
     "TranslationResult",
+    "ARBITERS",
+    "HostInterface",
+    "Namespace",
+    "TokenBucket",
+    "make_arbiter",
     "EventLoop",
     "HostFrontend",
     "NANDScheduler",

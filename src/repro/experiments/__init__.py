@@ -1,5 +1,13 @@
 """Experiment harness: per-figure experiment drivers built on the SSD model."""
 
+from repro.experiments.multi_tenant import (
+    ARBITER_CHOICES,
+    NoisyNeighborScenario,
+    build_tenant_host,
+    noisy_neighbor_sweep,
+    rate_limit_comparison,
+    run_noisy_neighbor,
+)
 from repro.experiments.common import (
     ALL_WORKLOADS,
     ExperimentResult,
@@ -18,6 +26,12 @@ from repro.experiments.common import (
 )
 
 __all__ = [
+    "ARBITER_CHOICES",
+    "NoisyNeighborScenario",
+    "build_tenant_host",
+    "noisy_neighbor_sweep",
+    "rate_limit_comparison",
+    "run_noisy_neighbor",
     "ALL_WORKLOADS",
     "ExperimentResult",
     "ExperimentSetup",

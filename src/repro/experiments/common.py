@@ -70,6 +70,9 @@ class ExperimentSetup:
     #: Flash page size (Figure 22b varies this).
     page_size: int = 4096
     channels: int = 16
+    #: Dies per channel: programs/erases on different dies overlap, so a
+    #: program occupies its channel bus for ``write_latency / dies``.
+    dies_per_channel: int = 8
     pages_per_block: int = 256
     #: Controller DRAM shared by the mapping table and the data cache.
     dram_bytes: int = 512 * 1024
@@ -111,6 +114,10 @@ class ExperimentSetup:
     gc_mode: str = "sync"
     #: GC victim-selection policy: ``greedy``, ``cost_benefit``, ``d_choices``.
     gc_policy: str = "greedy"
+    #: Submission-queue arbitration policy used when the device is driven
+    #: through the multi-queue host interface (``repro.host``): ``fifo``,
+    #: ``round_robin``, ``weighted_round_robin`` or ``strict_priority``.
+    arbiter: str = "round_robin"
     #: Random seed of the warm-up pattern.
     seed: int = 7
 
@@ -120,6 +127,7 @@ class ExperimentSetup:
             page_size=self.page_size,
             pages_per_block=self.pages_per_block,
             channels=self.channels,
+            dies_per_channel=self.dies_per_channel,
             dram_size=self.dram_bytes,
             write_buffer_bytes=self.write_buffer_bytes,
             overprovisioning=self.overprovisioning,
@@ -190,6 +198,7 @@ def build_ssd(scheme: str, setup: ExperimentSetup) -> SimulatedSSD:
         replay_mode=setup.replay_mode,
         time_scale=setup.time_scale,
         gc_mode=setup.gc_mode,
+        arbiter=setup.arbiter,
     )
     return SimulatedSSD(
         config=config,

@@ -1,0 +1,249 @@
+"""Multi-tenant QoS experiments: noisy neighbors, arbitration, rate limits.
+
+The scenario every experiment here builds on: one device, two namespaces.
+
+* **reader** — a latency-sensitive tenant issuing steady, Zipf-skewed
+  open-loop reads over its (pre-filled) namespace, with a read SLO;
+* **writer** — a noisy neighbor streaming bursts of large sequential
+  writes into the other namespace.
+
+The writer's damage travels two paths: its queued commands occupy device
+slots and (without arbitration) the shared submission queue ahead of the
+reader's arrivals, and its buffered flushes plus the GC they trigger keep
+the flash channels busy under the reader's data reads.  Submission-queue
+arbitration can undo the first path entirely and most of the second's
+queueing component — which is precisely what :func:`noisy_neighbor_sweep`
+quantifies, arbiter by arbiter, against the reader's solo run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.experiments.common import ExperimentSetup, build_ssd, reset_measurement
+from repro.host.arbiter import ARBITERS, TokenBucket
+from repro.host.interface import HostInterface
+from repro.ssd.ssd import SimulatedSSD
+from repro.workloads.multi_tenant import (
+    TenantWorkload,
+    fill_namespace,
+    latency_sensitive_reader,
+    sequential_writer,
+)
+
+#: Arbiters compared by the sweep, baseline (no QoS) first.
+ARBITER_CHOICES: Tuple[str, ...] = ARBITERS
+
+
+@dataclass(frozen=True)
+class NoisyNeighborScenario:
+    """Device + tenant parameters of the noisy-neighbor experiments.
+
+    The defaults are sized so the whole sweep (solo + four arbiters) runs
+    in seconds: a small 8-channel device, a reader namespace large enough
+    to defeat the data cache, and a writer whose bursts transiently exceed
+    the device's flush bandwidth without permanently saturating it.
+    """
+
+    scheme: str = "LeaFTL"
+    capacity_bytes: int = 192 * 1024 * 1024
+    page_size: int = 4096
+    channels: int = 8
+    #: Many dies per channel keep the program *bus* share small
+    #: (``write_latency / dies``), so flush bursts contend with reads
+    #: through queueing rather than monopolising the buses outright —
+    #: the regime where admission arbitration has leverage.
+    dies_per_channel: int = 32
+    pages_per_block: int = 64
+    dram_bytes: int = 2 * 1024 * 1024
+    #: Small write buffer: short flush batches keep per-channel busy
+    #: windows brief (a flush programs its open block serially).
+    write_buffer_bytes: int = 128 * 1024
+    #: Device slots (NVMe queue depth shared by all tenants).  Modest on
+    #: purpose: every slot a writer command holds has its flush chained
+    #: onto the channel reservations, so deep queues let the noisy
+    #: neighbor reserve the NAND far ahead of the reader's arrivals.
+    queue_depth: int = 4
+    gamma: int = 4
+
+    # Reader tenant (latency-sensitive).
+    reader_pages: int = 8192
+    reader_requests: int = 2000
+    reader_interarrival_us: float = 150.0
+    reader_npages: int = 16
+    reader_zipf_alpha: float = 0.9
+    reader_weight: int = 8
+    reader_slo_us: float = 1000.0
+    reader_seed: int = 101
+
+    # Writer tenant (noisy neighbor).
+    writer_requests: int = 640
+    writer_npages: int = 32
+    writer_interarrival_us: float = 30.0
+    writer_burst_length: int = 32
+    writer_burst_gap_us: float = 15_000.0
+    #: Fraction of the writer namespace pre-filled during warm-up.
+    writer_prefill_fraction: float = 0.1
+
+    def setup(self, arbiter: str) -> ExperimentSetup:
+        return ExperimentSetup(
+            capacity_bytes=self.capacity_bytes,
+            page_size=self.page_size,
+            channels=self.channels,
+            dies_per_channel=self.dies_per_channel,
+            pages_per_block=self.pages_per_block,
+            dram_bytes=self.dram_bytes,
+            write_buffer_bytes=self.write_buffer_bytes,
+            queue_depth=self.queue_depth,
+            gamma=self.gamma,
+            arbiter=arbiter,
+            warmup=False,
+        )
+
+    def scaled(self, **overrides: object) -> "NoisyNeighborScenario":
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+
+def build_tenant_host(
+    scenario: NoisyNeighborScenario, arbiter: str
+) -> Tuple[SimulatedSSD, HostInterface]:
+    """A warmed-up device with reader/writer namespaces carved out.
+
+    Warm-up runs *through the host interface* (closed-loop sequential
+    fills), so the multi-queue admission path is exercised end to end;
+    statistics are then reset so the measured phase reports steady state
+    only.
+    """
+    ssd = build_ssd(scenario.scheme, scenario.setup(arbiter))
+    host = HostInterface(ssd)
+    host.add_namespace(
+        "reader",
+        size_pages=scenario.reader_pages,
+        weight=scenario.reader_weight,
+        priority=0,
+        slo_read_us=scenario.reader_slo_us,
+    )
+    host.add_namespace("writer", weight=1, priority=1)
+    writer_fill = int(
+        host.namespace("writer").size_pages * scenario.writer_prefill_fraction
+    )
+    fills = [
+        TenantWorkload("reader", fill_namespace(scenario.reader_pages), mode="closed"),
+    ]
+    if writer_fill > 0:
+        fills.append(
+            TenantWorkload("writer", fill_namespace(writer_fill), mode="closed")
+        )
+    host.run(fills)
+    ssd.quiesce()
+    reset_measurement(ssd)
+    host.reset_stats()
+    return ssd, host
+
+
+def reader_tenant(scenario: NoisyNeighborScenario) -> TenantWorkload:
+    return TenantWorkload(
+        "reader",
+        latency_sensitive_reader(
+            scenario.reader_pages,
+            scenario.reader_requests,
+            interarrival_us=scenario.reader_interarrival_us,
+            zipf_alpha=scenario.reader_zipf_alpha,
+            npages=scenario.reader_npages,
+            seed=scenario.reader_seed,
+        ),
+        mode="open",
+    )
+
+
+def writer_tenant(scenario: NoisyNeighborScenario) -> TenantWorkload:
+    writer_pages = max(
+        scenario.writer_npages,
+        (scenario.capacity_bytes // scenario.page_size) - scenario.reader_pages,
+    )
+    return TenantWorkload(
+        "writer",
+        sequential_writer(
+            writer_pages,
+            scenario.writer_requests,
+            npages=scenario.writer_npages,
+            interarrival_us=scenario.writer_interarrival_us,
+            burst_length=scenario.writer_burst_length,
+            burst_gap_us=scenario.writer_burst_gap_us,
+        ),
+        mode="open",
+    )
+
+
+def run_noisy_neighbor(
+    arbiter: str,
+    scenario: Optional[NoisyNeighborScenario] = None,
+    include_writer: bool = True,
+) -> Dict[str, Dict[str, float]]:
+    """One cell: tenant -> metrics under the given arbiter.
+
+    ``include_writer=False`` is the solo baseline: the reader alone on the
+    (identically warmed-up) device — its p99 is the isolation yardstick.
+    """
+    scenario = scenario or NoisyNeighborScenario()
+    _, host = build_tenant_host(scenario, arbiter)
+    tenants = [reader_tenant(scenario)]
+    if include_writer:
+        tenants.append(writer_tenant(scenario))
+    result = host.run(tenants)
+    return result.summary()
+
+
+def noisy_neighbor_sweep(
+    arbiters: Sequence[str] = ARBITER_CHOICES,
+    scenario: Optional[NoisyNeighborScenario] = None,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """arbiter -> tenant -> metrics, plus the reader's ``"solo"`` baseline.
+
+    The isolation claim the QoS benchmark pins: under weighted-round-robin
+    or strict-priority arbitration the reader's p99 (measured against
+    arrival times, so submission-queue waiting counts) stays within a small
+    constant factor of its solo p99, while FIFO shared-queue admission
+    lets the writer's bursts inflate it by orders of magnitude.
+    """
+    scenario = scenario or NoisyNeighborScenario()
+    table: Dict[str, Dict[str, Dict[str, float]]] = {
+        "solo": run_noisy_neighbor(
+            "round_robin", scenario, include_writer=False
+        )
+    }
+    for arbiter in arbiters:
+        table[arbiter] = run_noisy_neighbor(arbiter, scenario)
+    return table
+
+
+def rate_limit_comparison(
+    scenario: Optional[NoisyNeighborScenario] = None,
+    writer_bandwidth_pages_per_s: float = 60_000.0,
+    arbiter: str = "round_robin",
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Token-bucket QoS: the same scenario with and without a writer cap.
+
+    Arbitration shares the *admission* fairly but cannot stop an admitted
+    write burst from flooding the write buffer and flash channels; a
+    bandwidth token bucket on the writer namespace throttles the burst at
+    the source.  Returns ``{"uncapped": ..., "capped": ...}`` tenant
+    metric tables; expect the capped writer to show rate-limit deferrals
+    and the reader a lower p99.
+    """
+    scenario = scenario or NoisyNeighborScenario()
+    table: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for label, capped in (("uncapped", False), ("capped", True)):
+        _, host = build_tenant_host(scenario, arbiter)
+        if capped:
+            host.namespace("writer").limiters.append(
+                TokenBucket(
+                    writer_bandwidth_pages_per_s,
+                    burst=scenario.writer_npages * 4,
+                    unit="pages",
+                )
+            )
+        result = host.run([reader_tenant(scenario), writer_tenant(scenario)])
+        table[label] = result.summary()
+    return table

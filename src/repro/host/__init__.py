@@ -1,0 +1,51 @@
+"""NVMe-style multi-queue host interface: namespaces, arbitration, QoS.
+
+This package is the layer *above* the device model: it carves one
+:class:`repro.ssd.ssd.SimulatedSSD` into disjoint namespaces, gives each
+tenant its own submission queue, and arbitrates which queue's head request
+is admitted every time a device slot frees — round-robin, weighted
+round-robin or strict priority, optionally throttled by per-namespace
+token buckets (IOPS / bandwidth caps).
+
+* :mod:`repro.host.namespace` — namespaces + per-tenant statistics;
+* :mod:`repro.host.arbiter` — arbitration policies and token buckets;
+* :mod:`repro.host.interface` — submission queues, the multi-queue
+  admission frontend, and the user-facing :class:`HostInterface`.
+"""
+
+from repro.host.arbiter import (
+    ARBITERS,
+    Arbiter,
+    FifoArbiter,
+    RoundRobinArbiter,
+    StrictPriorityArbiter,
+    TokenBucket,
+    WeightedRoundRobinArbiter,
+    make_arbiter,
+)
+from repro.host.interface import (
+    HostInterface,
+    HostRunResult,
+    MultiQueueFrontend,
+    QUEUE_MODES,
+    SubmissionQueue,
+)
+from repro.host.namespace import Namespace, NamespaceStats
+
+__all__ = [
+    "ARBITERS",
+    "Arbiter",
+    "FifoArbiter",
+    "RoundRobinArbiter",
+    "StrictPriorityArbiter",
+    "TokenBucket",
+    "WeightedRoundRobinArbiter",
+    "make_arbiter",
+    "HostInterface",
+    "HostRunResult",
+    "MultiQueueFrontend",
+    "QUEUE_MODES",
+    "SubmissionQueue",
+    "Namespace",
+    "NamespaceStats",
+]

@@ -1,0 +1,170 @@
+"""Namespaces: disjoint LPA regions sharing one simulated device.
+
+An NVMe namespace carves a private logical address space out of the shared
+device.  Tenants address pages relative to their namespace; the host
+interface translates to device LPAs before submission, so several tenants
+share the same FTL, write buffer, data cache and GC machinery — which is
+exactly what makes the noisy-neighbor question interesting: one tenant's
+flush/GC traffic contends with another tenant's reads at the flash channels
+even though their address spaces never overlap.
+
+Each namespace records its own latency/SLO statistics, so per-tenant p50/p99
+and SLO-violation counts fall out of a single shared replay.
+
+This module must stay importable without triggering the device model
+(``repro.ssd.ssd``): it imports only the statistics submodule directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.host.arbiter import TokenBucket
+from repro.ssd.stats import LatencyRecorder
+
+#: Reservoir seed offsets so a namespace's read and write recorders draw
+#: different (but fixed) sample streams.
+_READ_SEED = 0x5EED
+_WRITE_SEED = 0xF1005
+
+
+@dataclass
+class NamespaceStats:
+    """Per-tenant counters collected during a host-interface replay."""
+
+    #: Requests handed to the device / completed by it.
+    submitted: int = 0
+    completed: int = 0
+    read_pages: int = 0
+    write_pages: int = 0
+    #: Pages clipped because a request ran past the end of the namespace.
+    clipped_pages: int = 0
+    #: Total time requests waited in the submission queue before the
+    #: arbiter granted them a device slot (us).
+    queue_wait_us: float = 0.0
+    #: Times the namespace's token bucket deferred an admission.
+    rate_limit_deferrals: int = 0
+    #: Completions whose latency exceeded the namespace SLO.
+    slo_violations_read: int = 0
+    slo_violations_write: int = 0
+    read_latency: LatencyRecorder = field(
+        default_factory=lambda: LatencyRecorder(seed=_READ_SEED)
+    )
+    write_latency: LatencyRecorder = field(
+        default_factory=lambda: LatencyRecorder(seed=_WRITE_SEED)
+    )
+
+    @property
+    def slo_violations(self) -> int:
+        return self.slo_violations_read + self.slo_violations_write
+
+    def summary(self) -> Dict[str, float]:
+        """Flat per-tenant metrics (the multi-tenant reports print these)."""
+        return {
+            "submitted": float(self.submitted),
+            "completed": float(self.completed),
+            "read_pages": float(self.read_pages),
+            "write_pages": float(self.write_pages),
+            "clipped_pages": float(self.clipped_pages),
+            "queue_wait_us": self.queue_wait_us,
+            "rate_limit_deferrals": float(self.rate_limit_deferrals),
+            "slo_violations": float(self.slo_violations),
+            "read_mean_us": self.read_latency.mean_us,
+            "read_p50_us": self.read_latency.percentile(50),
+            "read_p95_us": self.read_latency.percentile(95),
+            "read_p99_us": self.read_latency.percentile(99),
+            "write_mean_us": self.write_latency.mean_us,
+            "write_p50_us": self.write_latency.percentile(50),
+            "write_p95_us": self.write_latency.percentile(95),
+            "write_p99_us": self.write_latency.percentile(99),
+        }
+
+
+class Namespace:
+    """One tenant's logical address region plus its QoS attributes.
+
+    ``weight`` feeds weighted-round-robin arbitration, ``priority`` feeds
+    strict-priority arbitration (lower value = more urgent), and
+    ``limiters`` (token buckets) cap the namespace's admission rate
+    regardless of the arbiter in use.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        base_lpa: int,
+        size_pages: int,
+        weight: int = 1,
+        priority: int = 0,
+        slo_read_us: Optional[float] = None,
+        slo_write_us: Optional[float] = None,
+        limiters: Tuple[TokenBucket, ...] = (),
+    ) -> None:
+        if base_lpa < 0:
+            raise ValueError("base_lpa must be non-negative")
+        if size_pages <= 0:
+            raise ValueError("size_pages must be positive")
+        if weight < 1:
+            raise ValueError("weight must be at least 1")
+        for slo in (slo_read_us, slo_write_us):
+            if slo is not None and slo <= 0.0:
+                raise ValueError("SLO thresholds must be positive")
+        self.name = name
+        self.base_lpa = base_lpa
+        self.size_pages = size_pages
+        self.weight = weight
+        self.priority = priority
+        self.slo_read_us = slo_read_us
+        self.slo_write_us = slo_write_us
+        self.limiters: List[TokenBucket] = list(limiters)
+        self.stats = NamespaceStats()
+
+    @property
+    def end_lpa(self) -> int:
+        """One past the last device LPA owned by this namespace."""
+        return self.base_lpa + self.size_pages
+
+    def overlaps(self, other: "Namespace") -> bool:
+        return self.base_lpa < other.end_lpa and other.base_lpa < self.end_lpa
+
+    def translate(self, lpa: int, npages: int) -> Tuple[int, int]:
+        """Map a namespace-relative request to device LPAs.
+
+        Returns ``(device_lpa, npages)`` with the page count clipped to the
+        namespace boundary (clipped pages are counted, mirroring the
+        device-level ``stats.clipped_pages`` convention).  Requests starting
+        outside the namespace are errors, not clips.
+        """
+        if not 0 <= lpa < self.size_pages:
+            raise ValueError(
+                f"LPA {lpa} outside namespace {self.name!r} "
+                f"({self.size_pages} pages)"
+            )
+        allowed = min(npages, self.size_pages - lpa)
+        if allowed < npages:
+            self.stats.clipped_pages += npages - allowed
+        return self.base_lpa + lpa, allowed
+
+    def reset_stats(self) -> NamespaceStats:
+        """Fresh statistics (call between a warm-up and a measured phase)."""
+        self.stats = NamespaceStats()
+        return self.stats
+
+    def record_completion(self, op: str, latency_us: float) -> None:
+        """Record one completed request's latency and check its SLO."""
+        if op == "R":
+            self.stats.read_latency.record(latency_us)
+            if self.slo_read_us is not None and latency_us > self.slo_read_us:
+                self.stats.slo_violations_read += 1
+        else:
+            self.stats.write_latency.record(latency_us)
+            if self.slo_write_us is not None and latency_us > self.slo_write_us:
+                self.stats.slo_violations_write += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Namespace({self.name!r}, base={self.base_lpa}, "
+            f"pages={self.size_pages}, weight={self.weight}, "
+            f"priority={self.priority})"
+        )

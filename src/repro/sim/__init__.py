@@ -12,7 +12,12 @@ letting foreground reads genuinely overlap background flush and GC traffic.
 """
 
 from repro.sim.events import Event, EventLoop
-from repro.sim.frontend import FrontendStats, HostFrontend, interleave_streams
+from repro.sim.frontend import (
+    FrontendStats,
+    HostFrontend,
+    OpenLoopFrontend,
+    interleave_streams,
+)
 from repro.sim.nand import NANDScheduler, TIMING_MODELS
 
 __all__ = [
@@ -20,6 +25,7 @@ __all__ = [
     "EventLoop",
     "FrontendStats",
     "HostFrontend",
+    "OpenLoopFrontend",
     "NANDScheduler",
     "TIMING_MODELS",
     "interleave_streams",

@@ -138,6 +138,10 @@ class OpenLoopFrontend:
 
     Same-timestamp arrivals are issued in trace order (the event loop is
     schedule-order stable), which keeps open-loop replay deterministic.
+    Timestamps must be non-decreasing: a trace with out-of-order arrival
+    times raises ``ValueError`` instead of silently distorting the offered
+    load — sort it first with
+    :meth:`repro.workloads.trace.Trace.sorted_by_timestamp`.
     """
 
     def __init__(self, device, loop: EventLoop, time_scale: float = 1.0) -> None:
@@ -149,6 +153,7 @@ class OpenLoopFrontend:
         self._source: Optional[Iterator[ReplayItem]] = None
         self._origin_us = 0.0
         self._first_timestamp: Optional[float] = None
+        self._last_timestamp: Optional[float] = None
         self._outstanding = 0
         self.stats = FrontendStats()
 
@@ -166,9 +171,9 @@ class OpenLoopFrontend:
         Admission streams from the iterator: each arrival event schedules
         the next one, so only one pending arrival lives in the heap at a
         time — a full-trace replay does not materialise millions of events
-        up front.  Arrivals are admitted in trace order; a non-monotone
-        timestamp is clamped to the previous arrival (the event loop never
-        runs backwards).
+        up front.  Arrivals must carry non-decreasing timestamps; an
+        out-of-order timestamp raises ``ValueError`` rather than silently
+        misrepresenting the arrival process.
         """
         self._source = iter(requests)
         self._origin_us = self._loop.now_us
@@ -184,6 +189,16 @@ class OpenLoopFrontend:
         request = as_request(item)
         if self._first_timestamp is None:
             self._first_timestamp = request.timestamp_us
+        if (
+            self._last_timestamp is not None
+            and request.timestamp_us < self._last_timestamp
+        ):
+            raise ValueError(
+                f"open-loop replay requires non-decreasing timestamps: "
+                f"{request.timestamp_us} follows {self._last_timestamp}; "
+                "sort the trace (Trace.sorted_by_timestamp()) before replay"
+            )
+        self._last_timestamp = request.timestamp_us
         offset = max(0.0, request.timestamp_us - self._first_timestamp)
         self._loop.schedule(
             self._origin_us + offset * self._time_scale,

@@ -63,6 +63,12 @@ Internally every operation takes an explicit issue clock (``at_us``), so
 the same read/write/flush/GC code serves both engines: state changes apply
 in submission order while timing is resolved through the per-channel/
 per-die NAND scheduler.
+
+Above the device, the NVMe-style multi-queue host interface
+(:mod:`repro.host`) carves the logical space into namespaces and drives
+the event loop with its own submission queues and arbitration, through the
+:meth:`SimulatedSSD.run_frontend` / :meth:`SimulatedSSD.finalize_replay`
+hooks; ``SSDOptions.arbiter`` names the default arbitration policy.
 """
 
 from __future__ import annotations
@@ -144,6 +150,12 @@ class SSDOptions:
     #: (falls back to the synchronous loop when no event loop is attached,
     #: e.g. on the serial fast path or the final drain flush).
     gc_mode: str = "sync"
+    #: Default submission-queue arbitration policy used when this device is
+    #: driven through the multi-queue host interface
+    #: (:class:`repro.host.interface.HostInterface`): ``"fifo"``,
+    #: ``"round_robin"``, ``"weighted_round_robin"`` or
+    #: ``"strict_priority"``.  Single-queue replays ignore it.
+    arbiter: str = "round_robin"
 
 
 class SimulatedSSD:
@@ -175,6 +187,13 @@ class SimulatedSSD:
             raise ValueError("time_scale must be positive")
         if self.options.gc_mode not in GC_MODES:
             raise ValueError(f"gc_mode must be one of {GC_MODES}")
+        # Imported lazily: the host package is the layer *above* this one
+        # (host.namespace imports repro.ssd.stats), so a module-level
+        # import here would create an import-time cycle.
+        from repro.host.arbiter import ARBITERS
+
+        if self.options.arbiter not in ARBITERS:
+            raise ValueError(f"arbiter must be one of {ARBITERS}")
 
         gamma = self._ftl_oob_window()
         validate_gamma_fits_oob(gamma, config.oob_size)
@@ -941,13 +960,49 @@ class SimulatedSSD:
         engine = self.options.engine
         if mode == "open":
             loop = EventLoop(start_us=self._now_us)
-            self._run_frontend(OpenLoopFrontend(self, loop, time_scale=scale), loop, requests)
+            self.run_frontend(OpenLoopFrontend(self, loop, time_scale=scale), loop, requests)
         elif engine == "events" or (engine == "auto" and depth > 1):
             loop = EventLoop(start_us=self._now_us)
-            self._run_frontend(HostFrontend(self, loop, queue_depth=depth), loop, requests)
+            self.run_frontend(HostFrontend(self, loop, queue_depth=depth), loop, requests)
         else:
             for request in map(as_request, requests):
+                self.stats.requests_submitted += 1
                 self.submit(request.op, request.lpa, request.npages)
+                self.stats.requests_completed += 1
+        return self.finalize_replay(drain=drain)
+
+    def run_frontend(
+        self,
+        frontend,
+        loop: EventLoop,
+        requests: Optional[Iterable[ReplayItem]] = None,
+    ) -> None:
+        """Replay through the event loop with the given host frontend.
+
+        The frontend is duck-typed: it needs ``run()`` (or ``run(requests)``
+        when ``requests`` is given) and a ``stats`` attribute carrying
+        :class:`repro.sim.frontend.FrontendStats`.  This is the hook the
+        multi-queue host interface (:mod:`repro.host`) uses to drive the
+        device with its own admission machinery; callers are expected to
+        follow up with :meth:`finalize_replay`.
+        """
+        self._loop = loop
+        try:
+            if requests is None:
+                frontend.run()
+            else:
+                frontend.run(requests)
+        finally:
+            self._loop = None
+        self.stats.events_processed += loop.events_processed
+        self.stats.requests_submitted += frontend.stats.submitted
+        self.stats.requests_completed += frontend.stats.completed
+        if frontend.stats.max_outstanding > self.stats.max_outstanding_requests:
+            self.stats.max_outstanding_requests = frontend.stats.max_outstanding
+        self._advance(loop.now_us)
+
+    def finalize_replay(self, drain: bool = True) -> SSDStats:
+        """End-of-replay bookkeeping: optional drain flush + time accounting."""
         if drain:
             self.flush()
         self.stats.simulated_time_us = self._horizon_us()
@@ -955,20 +1010,6 @@ class SimulatedSSD:
             0.0, self.stats.simulated_time_us - self._measure_start_us
         )
         return self.stats
-
-    def _run_frontend(
-        self, frontend, loop: EventLoop, requests: Iterable[ReplayItem]
-    ) -> None:
-        """Replay through the event loop with the given host frontend."""
-        self._loop = loop
-        try:
-            frontend.run(requests)
-        finally:
-            self._loop = None
-        self.stats.events_processed += loop.events_processed
-        if frontend.stats.max_outstanding > self.stats.max_outstanding_requests:
-            self.stats.max_outstanding_requests = frontend.stats.max_outstanding
-        self._advance(loop.now_us)
 
     # ------------------------------------------------------------------ #
     # Reporting

@@ -13,6 +13,7 @@ The benchmarks derive every paper figure from this single statistics object:
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -22,20 +23,29 @@ class LatencyRecorder:
 
     All latencies contribute to the running sum/count (exact mean), while a
     reservoir of at most ``reservoir_size`` samples supports percentile and
-    CDF queries without storing millions of floats.  Sampling is
-    deterministic (every k-th request) so repeated runs are reproducible.
+    CDF queries without storing millions of floats.  Once the reservoir is
+    full, uniform reservoir sampling (Vitter's algorithm R) keeps every
+    recorded latency equally likely to be retained — unlike every-k-th
+    striding, which systematically misses periodic tail events.  The
+    sampling RNG is a fixed per-instance seed, so percentile results are
+    reproducible run-to-run even past the reservoir bound (golden pins no
+    longer depend on the sample count staying under ``reservoir_size``).
     """
 
-    def __init__(self, reservoir_size: int = 100_000) -> None:
+    def __init__(self, reservoir_size: int = 100_000, seed: int = 0x1A7E) -> None:
         if reservoir_size <= 0:
             raise ValueError("reservoir_size must be positive")
         self._reservoir_size = reservoir_size
+        self._rng = random.Random(seed)
         self._samples: List[float] = []
+        #: Sorted view of the reservoir, rebuilt lazily on the first
+        #: percentile query after a record (summaries ask for several
+        #: percentiles back to back; one sort serves them all).
+        self._sorted: Optional[List[float]] = None
         self._count = 0
         self._sum = 0.0
         self._max = 0.0
         self._min = math.inf
-        self._stride = 1
 
     def record(self, latency_us: float) -> None:
         self._count += 1
@@ -44,12 +54,14 @@ class LatencyRecorder:
             self._max = latency_us
         if latency_us < self._min:
             self._min = latency_us
-        if (self._count - 1) % self._stride == 0:
+        self._sorted = None
+        if len(self._samples) < self._reservoir_size:
             self._samples.append(latency_us)
-            if len(self._samples) >= 2 * self._reservoir_size:
-                # Thin the reservoir: keep every other sample, double stride.
-                self._samples = self._samples[::2]
-                self._stride *= 2
+        else:
+            # Algorithm R: replace a random slot with probability size/count.
+            slot = self._rng.randrange(self._count)
+            if slot < self._reservoir_size:
+                self._samples[slot] = latency_us
 
     @property
     def count(self) -> int:
@@ -77,7 +89,9 @@ class LatencyRecorder:
             return 0.0
         if not 0.0 <= pct <= 100.0:
             raise ValueError("pct must be in [0, 100]")
-        ordered = sorted(self._samples)
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        ordered = self._sorted
         rank = min(len(ordered) - 1, int(round(pct / 100.0 * (len(ordered) - 1))))
         return ordered[rank]
 
@@ -139,6 +153,11 @@ class SSDStats:
     compactions: int = 0
 
     # Concurrency (event-driven engine).
+    #: Host requests admitted by the replay frontend (commands, not pages;
+    #: the serial fast path counts each replayed request as one command).
+    requests_submitted: int = 0
+    #: Host requests whose completion the frontend observed.
+    requests_completed: int = 0
     #: Time foreground data reads spent queued behind busy channels (us) —
     #: the direct measure of reads delayed by flush/GC/other-request traffic.
     read_stall_us: float = 0.0
@@ -226,7 +245,11 @@ class SSDStats:
             "host_writes": float(self.host_writes),
             "cache_hit_ratio": self.cache_hit_ratio,
             "mean_latency_us": self.mean_latency_us,
+            "read_p50_us": self.read_latency.percentile(50),
+            "read_p95_us": self.read_latency.percentile(95),
             "read_p99_us": self.read_latency.percentile(99),
+            "write_p95_us": self.write_latency.percentile(95),
+            "write_p99_us": self.write_latency.percentile(99),
             "write_amplification": self.write_amplification,
             "misprediction_ratio": self.misprediction_ratio,
             "simulated_time_us": self.simulated_time_us,
@@ -235,6 +258,8 @@ class SSDStats:
             "gc_background_runs": float(self.gc_background_runs),
             "gc_write_throttle_us": self.gc_write_throttle_us,
             "read_stall_us": self.read_stall_us,
+            "requests_submitted": float(self.requests_submitted),
+            "requests_completed": float(self.requests_completed),
             "max_outstanding_requests": float(self.max_outstanding_requests),
             "clipped_pages": float(self.clipped_pages),
         }

@@ -11,6 +11,13 @@ from repro.workloads.database import (
 )
 from repro.workloads.fiu import FIU_PROFILES, FIU_WORKLOAD_NAMES, fiu_profile, fiu_workload
 from repro.workloads.msr import MSR_PROFILES, MSR_WORKLOAD_NAMES, msr_profile, msr_workload
+from repro.workloads.multi_tenant import (
+    TenantWorkload,
+    fill_namespace,
+    latency_sensitive_reader,
+    sequential_writer,
+    tenant_trace,
+)
 from repro.workloads.parser import (
     TraceParseError,
     parse_msr_line,
@@ -44,6 +51,11 @@ __all__ = [
     "MSR_WORKLOAD_NAMES",
     "msr_profile",
     "msr_workload",
+    "TenantWorkload",
+    "fill_namespace",
+    "latency_sensitive_reader",
+    "sequential_writer",
+    "tenant_trace",
     "TraceParseError",
     "parse_msr_line",
     "parse_msr_trace",

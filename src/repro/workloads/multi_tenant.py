@@ -1,0 +1,152 @@
+"""Per-tenant workload streams for multi-namespace replays.
+
+The multi-queue host interface (:mod:`repro.host`) replays one stream per
+tenant; this module builds those streams.  Two canonical tenants cover the
+noisy-neighbor scenario the QoS experiments study:
+
+* :func:`latency_sensitive_reader` — an open-loop stream of small,
+  Zipf-skewed reads arriving at a steady pace (a key-value / OLTP front
+  end).  Its p99-versus-arrival latency is the quantity QoS arbitration
+  protects.
+* :func:`sequential_writer` — the noisy neighbor: large sequential write
+  bursts (a backup, compaction or analytics ingest job) whose buffered
+  flushes and GC fallout monopolise flash channels and, without
+  arbitration, the shared submission queue.
+
+Arbitrary mixes are composed from the existing generators:
+:func:`tenant_trace` stamps any synthetic :class:`WorkloadProfile` (or an
+already built :class:`Trace`) with open-loop arrival times, so every
+workload in the repertoire can play the tenant role.
+
+All generators are deterministic given their seeds, and every stream
+addresses *namespace-relative* LPAs starting at 0 — the host interface
+relocates them into the tenant's region of the device.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from repro.workloads.synthetic import SyntheticWorkload, WorkloadProfile, zipf_lpa
+from repro.workloads.trace import IORequest, READ, Trace, WRITE
+
+
+@dataclass(frozen=True)
+class TenantWorkload:
+    """One tenant's stream bound to a namespace.
+
+    ``mode`` selects the admission semantics of the tenant's submission
+    queue: ``"open"`` (requests arrive at their trace timestamps — latency
+    is measured against arrival), ``"closed"`` (the stream is backlogged;
+    a completion admits the next request) or ``"auto"`` (open when the
+    trace carries timestamps).
+    """
+
+    namespace: str
+    trace: Trace
+    mode: str = "auto"
+    #: Multiplier on inter-arrival times in open-loop admission.
+    time_scale: float = 1.0
+    #: Display name of the submission queue (defaults to the namespace).
+    name: Optional[str] = None
+
+
+def latency_sensitive_reader(
+    footprint_pages: int,
+    num_requests: int,
+    interarrival_us: float = 200.0,
+    zipf_alpha: float = 0.9,
+    npages: int = 8,
+    seed: int = 101,
+    name: str = "reader",
+) -> Trace:
+    """Steady Zipf-skewed reads over an (already written) working set."""
+    if footprint_pages <= npages:
+        raise ValueError("footprint_pages must exceed npages")
+    rng = random.Random(seed)
+    requests: List[IORequest] = []
+    upper = max(1, footprint_pages - npages)
+    for index in range(num_requests):
+        lpa = zipf_lpa(rng, upper, zipf_alpha)
+        requests.append(
+            IORequest(READ, lpa, npages, timestamp_us=index * interarrival_us)
+        )
+    return Trace(name, requests)
+
+
+def sequential_writer(
+    footprint_pages: int,
+    num_requests: int,
+    npages: int = 32,
+    interarrival_us: float = 20.0,
+    burst_length: int = 0,
+    burst_gap_us: float = 0.0,
+    seed: int = 202,
+    name: str = "writer",
+) -> Trace:
+    """Large sequential writes cycling over the namespace (noisy neighbor).
+
+    With ``burst_length == 0`` the commands arrive uniformly every
+    ``interarrival_us``.  Otherwise they arrive in bursts of
+    ``burst_length`` commands spaced ``interarrival_us`` apart, separated
+    by ``burst_gap_us`` of silence — the bursty ingest pattern that makes
+    shared-queue head-of-line blocking visible without permanently
+    saturating the device.
+    """
+    if footprint_pages < npages:
+        raise ValueError("footprint_pages must be at least npages")
+    del seed  # Reserved for future jittered variants; kept for API symmetry.
+    requests: List[IORequest] = []
+    lpa = 0
+    clock = 0.0
+    in_burst = 0
+    for _ in range(num_requests):
+        requests.append(IORequest(WRITE, lpa, npages, timestamp_us=clock))
+        lpa += npages
+        if lpa + npages > footprint_pages:
+            lpa = 0
+        in_burst += 1
+        if burst_length > 0 and in_burst >= burst_length:
+            in_burst = 0
+            clock += burst_gap_us
+        else:
+            clock += interarrival_us
+    return Trace(name, requests)
+
+
+def tenant_trace(
+    workload: Union[Trace, WorkloadProfile],
+    interarrival_us: Optional[float] = None,
+) -> Trace:
+    """Adapt any synthetic profile or existing trace into a tenant stream.
+
+    Profiles are generated with the standard synthetic machinery; when
+    ``interarrival_us`` is given, timestamp-less traces are stamped for
+    open-loop admission (traces already carrying timestamps keep them).
+    """
+    trace = (
+        SyntheticWorkload(workload).generate()
+        if isinstance(workload, WorkloadProfile)
+        else workload
+    )
+    if interarrival_us is not None:
+        trace = trace.with_interarrival(interarrival_us)
+    return trace
+
+
+def fill_namespace(size_pages: int, extent: int = 64, name: str = "fill") -> Trace:
+    """A closed-loop sequential fill of a namespace (warm-up phase).
+
+    Writes the whole region once in ``extent``-page commands so subsequent
+    reads hit programmed flash instead of being served as zeroes.
+    """
+    if size_pages <= 0:
+        raise ValueError("size_pages must be positive")
+    extent = max(1, min(extent, size_pages))
+    requests = [
+        IORequest(WRITE, lpa, min(extent, size_pages - lpa))
+        for lpa in range(0, size_pages, extent)
+    ]
+    return Trace(name, requests)

@@ -122,6 +122,24 @@ class Trace:
         """True when at least one request carries a non-zero arrival time."""
         return any(r.timestamp_us != 0.0 for r in self._requests)
 
+    def timestamps_sorted(self) -> bool:
+        """True when arrival timestamps are non-decreasing in trace order."""
+        return all(
+            earlier.timestamp_us <= later.timestamp_us
+            for earlier, later in zip(self._requests, self._requests[1:])
+        )
+
+    def sorted_by_timestamp(self) -> "Trace":
+        """A copy ordered by arrival time (stable for equal timestamps).
+
+        Open-loop replay refuses traces whose timestamps run backwards
+        (raw multi-queue captures sometimes interleave out of order);
+        sorting restores a valid arrival process while preserving the
+        relative order of same-timestamp requests.
+        """
+        ordered = sorted(self._requests, key=lambda request: request.timestamp_us)
+        return Trace(self.name, ordered)
+
     def with_interarrival(self, interarrival_us: float) -> "Trace":
         """A copy stamped with uniform arrival times (open-loop replay).
 

@@ -112,8 +112,28 @@ class TestLatencyRecorder:
         recorder = LatencyRecorder(reservoir_size=100)
         for value in range(10_000):
             recorder.record(float(value))
-        assert len(recorder.samples()) < 250
+        assert len(recorder.samples()) == 100
         assert recorder.count == 10_000
+
+    def test_reservoir_sampling_is_reproducible(self):
+        """Same seed, same stream -> identical reservoir past the bound."""
+        first = LatencyRecorder(reservoir_size=64)
+        second = LatencyRecorder(reservoir_size=64)
+        for value in range(5_000):
+            first.record(float(value))
+            second.record(float(value))
+        assert first.samples() == second.samples()
+        assert first.percentile(99) == second.percentile(99)
+
+    def test_reservoir_percentiles_track_distribution(self):
+        """Uniform reservoir sampling keeps percentiles representative."""
+        recorder = LatencyRecorder(reservoir_size=500)
+        for value in range(20_000):
+            recorder.record(float(value))
+        # p50 of 0..19999 is ~10000; a 500-sample reservoir should land
+        # within a few percent of it.
+        assert abs(recorder.percentile(50) - 10_000) < 2_000
+        assert recorder.percentile(0) < recorder.percentile(99)
 
     def test_empty_recorder(self):
         recorder = LatencyRecorder()
