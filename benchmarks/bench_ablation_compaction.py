@@ -8,15 +8,12 @@ workload and (b) how long one full compaction takes on the host CPU.
 
 from __future__ import annotations
 
-import time
-
 from repro.analysis.memory import format_bytes
 from repro.analysis.report import print_report, render_table
 from repro.experiments.common import run_experiment, workload_for_setup
 from repro.experiments.memory import memory_setup
 
 from benchmarks.conftest import memory_scale, run_once
-
 
 def test_ablation_compaction_interval(benchmark):
     def run_both():
@@ -43,13 +40,12 @@ def test_ablation_compaction_interval(benchmark):
     uncompacted = results["disabled"].mapping_full_bytes
     assert compacted <= uncompacted
 
-
 def test_ablation_compaction_latency(benchmark):
     """Wall-clock cost of one full-table compaction (paper: ~4.1 ms)."""
     setup = memory_setup(gamma=0, request_scale=memory_scale()).scaled(
         compaction_interval_writes=10**9
     )
-    outcome = run_experiment("MSR-hm", "LeaFTL", setup)
+    run_experiment("MSR-hm", "LeaFTL", setup)
     # Rebuild a table of the same shape and time compact() directly.
     from repro.config import LeaFTLConfig
     from repro.core.mapping_table import LogStructuredMappingTable

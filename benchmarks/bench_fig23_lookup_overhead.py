@@ -7,8 +7,6 @@ reports ~90% of lookups resolved at the topmost level and 99% within 10);
 
 from __future__ import annotations
 
-import time
-
 from repro.analysis.report import print_report, render_series, render_table
 from repro.config import SSDConfig
 from repro.experiments.performance import lookup_level_cdf
@@ -16,7 +14,6 @@ from repro.experiments.performance import lookup_level_cdf
 from benchmarks.conftest import perf_setup, run_once
 
 WORKLOADS = ("MSR-hm", "MSR-prxy", "FIU-mail", "TPCC")
-
 
 def test_fig23a_levels_per_lookup(benchmark):
     setup = perf_setup()
@@ -32,7 +29,6 @@ def test_fig23a_levels_per_lookup(benchmark):
             continue
         assert row["mean"] < 6, f"{workload}: mean levels {row['mean']} too high"
         assert row["p99"] <= 25
-
 
 def test_fig23b_lookup_cost_vs_flash_latency(benchmark):
     """Host-side proxy of Figure 23(b): lookup time as % of a flash read."""

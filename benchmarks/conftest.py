@@ -16,15 +16,12 @@ from __future__ import annotations
 
 import os
 
-import pytest
-
 from repro.experiments.common import ExperimentSetup, bench_scale
 
 #: Workloads used by the heavier sweeps (a representative subset of the 12).
 CORE_SIMULATOR_WORKLOADS = ("MSR-hm", "MSR-prxy", "MSR-usr", "FIU-mail")
 CORE_DATABASE_WORKLOADS = ("TPCC", "SEATS", "OLTP")
 CORE_WORKLOADS = CORE_SIMULATOR_WORKLOADS + CORE_DATABASE_WORKLOADS
-
 
 def perf_setup(**overrides: object) -> ExperimentSetup:
     """Performance-measurement setup (warm-up enabled, small device).
@@ -51,11 +48,9 @@ def perf_setup(**overrides: object) -> ExperimentSetup:
     defaults.update(overrides)
     return ExperimentSetup(**defaults)  # type: ignore[arg-type]
 
-
 def memory_scale() -> float:
     """Request scale used by the footprint/structure benchmarks."""
     return 0.15 * bench_scale()
-
 
 def run_once(benchmark, func, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark timing."""

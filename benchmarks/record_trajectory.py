@@ -1,0 +1,212 @@
+"""Record one replay-performance point into the in-tree trajectory file.
+
+ROADMAP calls out that CI uploads benchmark JSONs as artifacts but tracks
+nothing in-tree, so a perf regression (or win) has no committed baseline
+to diff against.  This helper fills that gap: it measures simulator
+*host* throughput — wall-clock events/sec and IOs/sec, not simulated
+time — for the standard replay configurations, and appends the result to
+``BENCH_replay.json`` at the repo root.  Commit the updated file with
+any PR that materially changes replay performance::
+
+    PYTHONPATH=src python benchmarks/record_trajectory.py --label "PR 6"
+
+The configurations cover the three engines a replay can take plus the
+multi-queue host path:
+
+* ``qd1_serial``      — synchronous fast path (queue depth 1);
+* ``qd8_events``      — closed-loop event engine at queue depth 8;
+* ``open_loop``       — open-loop (timestamped) admission;
+* ``multiqueue_wrr``  — two tenants through the WRR-arbitrated host
+  interface with background GC.
+
+Wall-clock reads are deliberate and confined to this script: simlint's
+SIM001 bans them inside ``src/repro`` (simulated time only), while
+measurement harnesses outside the simulator are exactly where they
+belong.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple
+
+REPO = Path(__file__).resolve().parent.parent
+if str(REPO / "src") not in sys.path:
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro.experiments.common import (  # noqa: E402
+    ExperimentSetup,
+    build_ssd,
+    precondition,
+    steady_state_workload,
+)
+from repro.ssd.ssd import SimulatedSSD  # noqa: E402
+
+DEFAULT_OUTPUT = REPO / "BENCH_replay.json"
+
+#: Workload size at scale 1.0 (per configuration).
+BASE_REQUESTS = 12_000
+
+
+def _device(scheme: str = "LeaFTL", **overrides: object) -> SimulatedSSD:
+    setup = ExperimentSetup(
+        capacity_bytes=96 * 1024 * 1024,
+        channels=4,
+        dies_per_channel=4,
+        pages_per_block=64,
+        dram_bytes=1 * 1024 * 1024,
+        warmup=False,
+        **overrides,  # type: ignore[arg-type]
+    )
+    return build_ssd(scheme, setup)
+
+
+def _aged_device(scale: float, **overrides: object) -> Tuple[SimulatedSSD, list]:
+    """A preconditioned device plus its steady-state request list."""
+    ssd = _device(**overrides)
+    footprint = precondition(ssd, seed=11)
+    requests = steady_state_workload(
+        footprint, max(500, int(BASE_REQUESTS * scale)), seed=23, read_ratio=0.4
+    )
+    ssd.quiesce()
+    ssd.begin_measurement()
+    return ssd, requests
+
+
+def _measure(run: Callable[[], SimulatedSSD]) -> Dict[str, float]:
+    """Time one replay; returns wall-clock throughput metrics."""
+    started = time.perf_counter()
+    ssd = run()
+    elapsed = max(time.perf_counter() - started, 1e-9)
+    stats = ssd.stats
+    return {
+        "wall_seconds": round(elapsed, 4),
+        "requests": float(stats.requests_completed),
+        "events": float(stats.events_processed),
+        "ios_per_sec": round(stats.requests_completed / elapsed, 1),
+        "events_per_sec": round(stats.events_processed / elapsed, 1),
+        "pages_per_sec": round((stats.host_reads + stats.host_writes) / elapsed, 1),
+    }
+
+
+def bench_qd1_serial(scale: float) -> Dict[str, float]:
+    ssd, requests = _aged_device(scale, queue_depth=1)
+
+    def run() -> SimulatedSSD:
+        ssd.run(requests)
+        return ssd
+
+    return _measure(run)
+
+
+def bench_qd8_events(scale: float) -> Dict[str, float]:
+    ssd, requests = _aged_device(scale, queue_depth=8)
+
+    def run() -> SimulatedSSD:
+        ssd.run(requests)
+        return ssd
+
+    return _measure(run)
+
+
+def bench_open_loop(scale: float) -> Dict[str, float]:
+    from repro.workloads.trace import IORequest, Trace
+
+    ssd, requests = _aged_device(scale, queue_depth=8, replay_mode="open")
+    stamped = Trace(
+        "open",
+        [
+            IORequest(op, lpa, npages, timestamp_us=index * 20.0)
+            for index, (op, lpa, npages) in enumerate(requests)
+        ],
+    )
+
+    def run() -> SimulatedSSD:
+        ssd.run(stamped, replay_mode="open")
+        return ssd
+
+    return _measure(run)
+
+
+def bench_multiqueue_wrr(scale: float) -> Dict[str, float]:
+    from repro.verify import VERIFY_ARBITER, verify_scenario
+    from repro.experiments.multi_tenant import (
+        build_tenant_host,
+        reader_tenant,
+        writer_tenant,
+    )
+
+    scenario = verify_scenario(seed=1234, scale=scale)
+    ssd, host = build_tenant_host(scenario, VERIFY_ARBITER)
+    tenants = [reader_tenant(scenario), writer_tenant(scenario)]
+
+    def run() -> SimulatedSSD:
+        host.run(tenants)
+        return ssd
+
+    return _measure(run)
+
+
+CONFIGS: Dict[str, Callable[[float], Dict[str, float]]] = {
+    "qd1_serial": bench_qd1_serial,
+    "qd8_events": bench_qd8_events,
+    "open_loop": bench_open_loop,
+    "multiqueue_wrr": bench_multiqueue_wrr,
+}
+
+
+def record(
+    label: str, scale: float, output: Path, dry_run: bool = False
+) -> Dict[str, object]:
+    entry: Dict[str, object] = {
+        "recorded_at": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "label": label,
+        "scale": scale,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "configs": {},
+    }
+    for name, bench in CONFIGS.items():
+        print(f"  measuring {name} ...", flush=True)
+        entry["configs"][name] = bench(scale)  # type: ignore[index]
+    if not dry_run:
+        history = {"runs": []}
+        if output.exists():
+            history = json.loads(output.read_text())
+        history["runs"].append(entry)
+        output.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+    return entry
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Append a replay-throughput measurement to BENCH_replay.json"
+    )
+    parser.add_argument(
+        "--label", default="", help="free-form tag for this point (e.g. a PR number)"
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0, help="request-count scale factor"
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT, help="trajectory file to append to"
+    )
+    parser.add_argument(
+        "--dry-run", action="store_true", help="measure and print, do not write"
+    )
+    args = parser.parse_args(argv)
+    entry = record(args.label, args.scale, args.output, dry_run=args.dry_run)
+    print(json.dumps(entry, indent=2, sort_keys=True))
+    if not args.dry_run:
+        print(f"appended to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

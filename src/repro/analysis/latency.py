@@ -2,8 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence
-
+from typing import Dict, List, Mapping, Sequence
 
 def percentile(samples: Sequence[float], pct: float) -> float:
     """The ``pct``-th percentile of ``samples`` (nearest-rank)."""
@@ -15,14 +14,12 @@ def percentile(samples: Sequence[float], pct: float) -> float:
     rank = min(len(ordered) - 1, int(round(pct / 100.0 * (len(ordered) - 1))))
     return ordered[rank]
 
-
 def latency_cdf(
     samples: Sequence[float],
     points: Sequence[float] = (0.0, 30.0, 60.0, 90.0, 99.0, 99.9),
 ) -> Dict[float, float]:
     """Latency values at the given CDF points (Figure 18's x-axis)."""
     return {p: percentile(samples, p) for p in points}
-
 
 def normalize(values: Mapping[str, float], baseline_key: str) -> Dict[str, float]:
     """Normalize a metric to one scheme (lower is better in the paper's plots).
@@ -37,13 +34,11 @@ def normalize(values: Mapping[str, float], baseline_key: str) -> Dict[str, float
         return {key: 0.0 for key in values}
     return {key: value / baseline for key, value in values.items()}
 
-
 def speedup(values: Mapping[str, float], over: str, of: str) -> float:
     """How much faster ``of`` is than ``over`` (ratio of the latencies)."""
     if values.get(of, 0.0) == 0.0:
         return 0.0
     return values[over] / values[of]
-
 
 def histogram_cdf(histogram: Mapping[int, int]) -> List[tuple]:
     """Convert a value->count histogram into (value, cumulative fraction) pairs."""
@@ -56,7 +51,6 @@ def histogram_cdf(histogram: Mapping[int, int]) -> List[tuple]:
         cumulative += histogram[value]
         points.append((value, cumulative / total))
     return points
-
 
 def value_at_cdf(histogram: Mapping[int, int], fraction: float) -> int:
     """Smallest histogram value whose cumulative share reaches ``fraction``."""

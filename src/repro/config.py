@@ -24,7 +24,7 @@ Both are available as constructors on :class:`SSDConfig`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 KB = 1024
 MB = 1024 * KB

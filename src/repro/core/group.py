@@ -13,7 +13,7 @@ of the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.core.crb import ConflictResolutionBuffer
 from repro.core.level import Level

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import math
 import struct
-from typing import Iterator, List, Optional
+from typing import Iterator
 
 import numpy as np
 

@@ -8,7 +8,7 @@ Figure 19 (LeaFTL with different gamma) compare.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Sequence
 
 from repro.analysis.memory import geometric_mean, reduction_factor
 from repro.experiments.common import (

@@ -66,6 +66,10 @@ class NoisyNeighborScenario:
     #: neighbor reserve the NAND far ahead of the reader's arrivals.
     queue_depth: int = 4
     gamma: int = 4
+    #: GC scheduling of the device under test (``"sync"`` or
+    #: ``"background"``); the determinism harness runs the background
+    #: pipeline so its event interleaving is covered by the double run.
+    gc_mode: str = "sync"
 
     # Reader tenant (latency-sensitive).
     reader_pages: int = 8192
@@ -98,6 +102,7 @@ class NoisyNeighborScenario:
             queue_depth=self.queue_depth,
             gamma=self.gamma,
             arbiter=arbiter,
+            gc_mode=self.gc_mode,
             warmup=False,
         )
 

@@ -11,15 +11,13 @@ fetches — materialises on the read path.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 from repro.analysis.latency import histogram_cdf, latency_cdf, normalize
 from repro.experiments.common import (
     ExperimentResult,
     ExperimentSetup,
-    REAL_SSD_WORKLOADS,
     SCHEMES,
-    SIMULATOR_WORKLOADS,
     build_ssd,
     precondition,
     run_experiment,

@@ -9,11 +9,10 @@ accurate/approximate segment mix as gamma grows (Figure 20).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.latency import percentile
 from repro.experiments.common import (
-    ExperimentSetup,
     SIMULATOR_WORKLOADS,
     run_experiment,
     workload_for_setup,

@@ -23,7 +23,7 @@ The allocator also tracks which blocks are candidates for garbage collection
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.flash.flash_array import FlashArray
 
@@ -51,8 +51,12 @@ class BlockAllocator:
         self._flash = flash
         self._geometry = flash.geometry
         channels = self._geometry.channels
-        self._free_blocks: List[Set[int]] = [set() for _ in range(channels)]
-        self._active_blocks: Set[int] = set()
+        # Insertion-ordered pools (dict keys, values unused): iteration order
+        # is the deterministic insert history, never hash-table layout —
+        # allocation decisions made by iterating these structures are
+        # bit-reproducible across runs and Python builds (simlint SIM003).
+        self._free_blocks: List[Dict[int, None]] = [{} for _ in range(channels)]
+        self._active_blocks: Dict[int, None] = {}
         #: Open (partially programmed, still active) block of each stream.
         self._stream_blocks: Dict[str, int] = {}
         self._next_channel = 0
@@ -60,7 +64,7 @@ class BlockAllocator:
 
         for block in range(self._geometry.total_blocks):
             channel = self._geometry.block_to_channel(block)
-            self._free_blocks[channel].add(block)
+            self._free_blocks[channel][block] = None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -91,9 +95,9 @@ class BlockAllocator:
         programmed, is not in the free pool and is not an active block that
         the write path is still filling.
         """
-        free: Set[int] = set()
+        free: Dict[int, None] = {}
         for pool in self._free_blocks:
-            free |= pool
+            free.update(pool)
         candidates = []
         for block in range(self._geometry.total_blocks):
             if block in free or block in self._active_blocks:
@@ -137,9 +141,13 @@ class BlockAllocator:
             pool = self._free_blocks[ch]
             if not pool:
                 continue
-            block = min(pool, key=self._flash.erase_count)
-            pool.remove(block)
-            self._active_blocks.add(block)
+            # Least-worn block; erase-count ties break to the lowest block id
+            # (an explicit total order — tie-breaking must never fall back to
+            # container iteration order, which is what made the old set-based
+            # pools fragile).
+            block = min(pool, key=lambda b: (self._flash.erase_count(b), b))
+            del pool[block]
+            self._active_blocks[block] = None
             self.stats.blocks_allocated += 1
             return block
         raise OutOfSpaceError("no free flash block available")
@@ -178,18 +186,18 @@ class BlockAllocator:
 
     def seal_block(self, block: int) -> None:
         """Mark an active block as fully written (no longer active)."""
-        self._active_blocks.discard(block)
+        self._active_blocks.pop(block, None)
 
     def release_block(self, block: int) -> None:
         """Return an erased block to the free pool (after GC erase)."""
         if not self._flash.block_is_free(block):
             raise ValueError(f"block {block} is not erased; cannot release")
         channel = self._geometry.block_to_channel(block)
-        self._active_blocks.discard(block)
+        self._active_blocks.pop(block, None)
         for stream, open_block in list(self._stream_blocks.items()):
             if open_block == block:  # pragma: no cover - defensive
                 del self._stream_blocks[stream]
-        self._free_blocks[channel].add(block)
+        self._free_blocks[channel][block] = None
         self.stats.blocks_reclaimed += 1
 
     # ------------------------------------------------------------------ #

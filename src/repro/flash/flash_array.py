@@ -19,7 +19,7 @@ LPA it holds, which doubles as its "content" for verification purposes.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
 from repro.config import SSDConfig

@@ -22,7 +22,7 @@ bucket's earliest-available time, so throttling costs no busy-waiting.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Protocol, Sequence
+from typing import Dict, List, Protocol, Sequence
 
 #: Names accepted by :func:`make_arbiter` (and ``SSDOptions.arbiter``).
 ARBITERS = ("fifo", "round_robin", "weighted_round_robin", "strict_priority")

@@ -74,6 +74,10 @@ class EventLoop:
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._seq = 0
         self.events_processed = 0
+        #: Called with every processed event, before its callback runs.
+        #: The determinism harness (:mod:`repro.verify`) hangs a trace
+        #: digest here; ``None`` keeps the hot path branch-only.
+        self.observer: Optional[Callable[[Event], None]] = None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -136,6 +140,8 @@ class EventLoop:
                 continue
             self._now_us = event.time_us
             self.events_processed += 1
+            if self.observer is not None:
+                self.observer(event)
             if event.callback is not None:
                 event.callback(event)
             return event

@@ -74,7 +74,7 @@ hooks; ``SSDOptions.arbiter`` names the default arbitration policy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.config import DRAMBudget, SSDConfig
 from repro.flash.allocator import BlockAllocator
@@ -236,6 +236,12 @@ class SimulatedSSD:
         self._measure_start_us = 0.0
         #: Event loop attached while the event-driven engine is replaying.
         self._loop: Optional[EventLoop] = None
+        #: Per-event observer propagated to every replay's event loop
+        #: (see :attr:`repro.sim.events.EventLoop.observer`).  The
+        #: determinism harness (:mod:`repro.verify`) attaches its trace
+        #: digest here so open-loop, closed-loop and multi-queue replays
+        #: are all covered by one hook.
+        self.event_observer: Optional[Callable[[Event], None]] = None
 
     # ------------------------------------------------------------------ #
     # Small helpers
@@ -987,6 +993,8 @@ class SimulatedSSD:
         follow up with :meth:`finalize_replay`.
         """
         self._loop = loop
+        if self.event_observer is not None and loop.observer is None:
+            loop.observer = self.event_observer
         try:
             if requests is None:
                 frontend.run()

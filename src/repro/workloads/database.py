@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List
 
 from repro.workloads.synthetic import zipf_lpa
 from repro.workloads.trace import IORequest, READ, Trace, WRITE

@@ -23,8 +23,8 @@ from __future__ import annotations
 
 import random
 import zlib
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
 
 from repro.workloads.trace import IORequest, READ, Trace, WRITE
 

@@ -8,7 +8,7 @@ constructors.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 READ = "R"
@@ -119,8 +119,12 @@ class Trace:
         return Trace(name or f"{self.name}+{other.name}", self._requests + other._requests)
 
     def has_timestamps(self) -> bool:
-        """True when at least one request carries a non-zero arrival time."""
-        return any(r.timestamp_us != 0.0 for r in self._requests)
+        """True when at least one request carries a non-zero arrival time.
+
+        Timestamps are non-negative, so an ordering comparison against the
+        zero default avoids exact float equality (simlint SIM004).
+        """
+        return any(r.timestamp_us > 0.0 for r in self._requests)
 
     def timestamps_sorted(self) -> bool:
         """True when arrival timestamps are non-decreasing in trace order."""

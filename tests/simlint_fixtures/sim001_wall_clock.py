@@ -1,0 +1,45 @@
+# Fixture for SIM001 (no-wall-clock).  Lines with violations carry an
+# expect-marker comment naming the rule code; the test asserts the reported
+# (line, code) pairs match the markers exactly.  NOT imported — parsed by
+# simlint only.
+import time
+import datetime
+from time import perf_counter
+from datetime import datetime as dt
+from time import monotonic as mono
+
+
+def bad_direct() -> float:
+    return time.time()  # expect: SIM001
+
+
+def bad_ns() -> int:
+    return time.time_ns()  # expect: SIM001
+
+
+def bad_perf() -> float:
+    return perf_counter()  # expect: SIM001
+
+
+def bad_aliased() -> float:
+    return mono()  # expect: SIM001
+
+
+def bad_datetime():
+    a = datetime.datetime.now()  # expect: SIM001
+    b = dt.utcnow()  # expect: SIM001
+    return a, b
+
+
+def suppressed() -> float:
+    return time.time()  # simlint: disable=SIM001
+
+
+def ok_simulated(now_us: float, at_us: float) -> float:
+    # Simulated clocks are plain parameters/attributes — no finding.
+    return max(now_us, at_us)
+
+
+def ok_strftime() -> str:
+    # Formatting an *existing* datetime object is not a clock read.
+    return datetime.datetime(2020, 1, 1).isoformat()

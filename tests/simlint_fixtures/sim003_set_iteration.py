@@ -1,0 +1,75 @@
+# Fixture for SIM003 (no-set-iteration).  See sim001 fixture for the
+# marker convention.  NOT imported — parsed by simlint only.
+from typing import Dict, List, Set
+
+#: Module-level set: iteration from inside functions must still be caught.
+KNOWN: Set[int] = {1, 2, 3}
+
+
+def bad_literal_iteration() -> None:
+    for item in {1, 2, 3}:  # expect: SIM003
+        print(item)
+
+
+def bad_constructor_iteration(values) -> list:
+    return list(set(values))  # expect: SIM003
+
+
+def bad_tracked_local(values) -> None:
+    pending = set(values)
+    for item in pending:  # expect: SIM003
+        print(item)
+
+
+def bad_module_global() -> list:
+    return [x for x in KNOWN]  # expect: SIM003
+
+
+def bad_min_tiebreak(pool: Set[int], wear) -> int:
+    return min(pool, key=wear)  # expect: SIM003
+
+
+def bad_union(a, b) -> None:
+    merged = set(a) | set(b)
+    for item in merged:  # expect: SIM003
+        print(item)
+
+
+def bad_dict_from_set(values) -> None:
+    source = frozenset(values)
+    ordered = dict.fromkeys(source)  # order inherited from the set
+    for key in ordered.keys():  # expect: SIM003
+        print(key)
+
+
+class Allocator:
+    def __init__(self, channels: int) -> None:
+        self._pools: List[Set[int]] = [set() for _ in range(channels)]
+        self._active: Set[int] = set()
+
+    def bad_subscript_of_container(self, channel: int, wear) -> int:
+        pool = self._pools[channel]
+        return min(pool, key=wear)  # expect: SIM003
+
+    def bad_attribute_iteration(self) -> list:
+        return sorted(tuple(self._active))  # expect: SIM003
+
+    def ok_membership(self, block: int) -> bool:
+        return block in self._active
+
+    def ok_len(self) -> int:
+        return sum(len(pool) for pool in self._pools)
+
+
+def suppressed(pool: Set[int]) -> list:
+    return list(pool)  # simlint: disable=SIM003
+
+
+def ok_sorted(pool: Set[int]) -> list:
+    # sorted() imposes a total order — the sanctioned escape hatch.
+    return sorted(pool)
+
+
+def ok_list_iteration(items: List[int]) -> None:
+    for item in items:
+        print(item)

@@ -1,0 +1,47 @@
+# Fixture for SIM004 (no-float-timestamp-equality).  See sim001 fixture for
+# the marker convention.  NOT imported — parsed by simlint only.
+
+
+def bad_name_equality(start_us: float, finish_us: float) -> bool:
+    return start_us == finish_us  # expect: SIM004
+
+
+def bad_not_equal(timestamp_us: float) -> bool:
+    return timestamp_us != 0.0  # expect: SIM004
+
+
+def bad_seconds_suffix(elapsed_s: float, budget_s: float) -> bool:
+    return elapsed_s == budget_s  # expect: SIM004
+
+
+def bad_attribute(event, other) -> bool:
+    return event.time_us == other.time_us  # expect: SIM004
+
+
+def bad_call_result(loop) -> bool:
+    return loop.horizon_us() == 0.0  # expect: SIM004
+
+
+def bad_chained(a_us, b_us, c_us) -> bool:
+    return a_us < b_us == c_us  # expect: SIM004
+
+
+def suppressed(start_us: float) -> bool:
+    return start_us == 0.0  # simlint: disable=SIM004
+
+
+def ok_ordering(start_us: float, finish_us: float) -> bool:
+    return start_us <= finish_us
+
+
+def ok_none_check(deadline_us) -> bool:
+    return deadline_us == None  # noqa: E711 — None compares are not SIM004's business
+
+
+def ok_unrelated_names(op: str, pages: int) -> bool:
+    return op == "R" and pages != 0
+
+
+def ok_integer_ticks(start_tick: int, finish_tick: int) -> bool:
+    # Integer tick counters are the sanctioned representation.
+    return start_tick == finish_tick

@@ -1,0 +1,39 @@
+# Fixture for SIM005 (no-mutable-defaults).  See sim001 fixture for the
+# marker convention.  NOT imported — parsed by simlint only.
+from collections import defaultdict
+from typing import Optional
+
+
+def bad_list(items=[]) -> list:  # expect: SIM005
+    return items
+
+
+def bad_dict(mapping={}) -> dict:  # expect: SIM005
+    return mapping
+
+
+def bad_set_call(seen=set()) -> set:  # expect: SIM005
+    return seen
+
+
+def bad_kwonly(*, registry={}) -> dict:  # expect: SIM005
+    return registry
+
+
+def bad_defaultdict(counts=defaultdict(int)):  # expect: SIM005
+    return counts
+
+
+bad_lambda = lambda acc=[]: acc  # expect: SIM005  # noqa: E731
+
+
+def suppressed(items=[]) -> list:  # simlint: disable=SIM005
+    return items
+
+
+def ok_none(items: Optional[list] = None) -> list:
+    return list(items or ())
+
+
+def ok_immutable(span=(), name="x", count=0, scale=1.0, flag=False) -> tuple:
+    return (span, name, count, scale, flag)

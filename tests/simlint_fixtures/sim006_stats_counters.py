@@ -1,0 +1,56 @@
+# Fixture for SIM006 (monotone-stats-counters).  See sim001 fixture for the
+# marker convention.  NOT imported — parsed by simlint only.
+from dataclasses import dataclass
+
+
+@dataclass
+class ReplayStats:
+    requests: int = 0
+    pages: int = 0
+    wait_us: float = 0.0
+
+
+class DeviceStats:
+    def __init__(self) -> None:
+        self.erases = 0
+        self.migrations = 0
+
+    def reset(self) -> None:
+        # Raw reassignment inside reset() is the sanctioned exception.
+        self.erases = 0
+        self.migrations = 0
+
+    def reset_measurement(self) -> None:
+        self.erases = 0  # reset* prefixed methods are writers too
+
+    def record_erase(self) -> None:
+        self.erases += 1  # += increments are the contract
+
+    def bad_overwrite(self) -> None:
+        self.erases = 5  # expect: SIM006
+
+    def bad_decrement(self) -> None:
+        self.migrations -= 1  # expect: SIM006
+
+
+def bad_external_write(stats: ReplayStats, total: int) -> None:
+    stats.requests = total  # expect: SIM006
+
+
+def bad_multiply(stats: ReplayStats) -> None:
+    stats.pages *= 2  # expect: SIM006
+
+
+def suppressed(stats: ReplayStats, total: int) -> None:
+    stats.requests = total  # simlint: disable=SIM006
+
+
+def ok_increment(stats: ReplayStats, pages: int) -> None:
+    stats.requests += 1
+    stats.pages += pages
+    stats.wait_us += 1.5
+
+
+def ok_unrelated_attribute(device) -> None:
+    # `stats` itself is not a counter field; swapping the object is fine.
+    device.stats = ReplayStats()

@@ -2,11 +2,8 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.crb import ConflictResolutionBuffer
 from repro.core.segment import Segment
-
 
 def approx_segment(start, length, ppa=0):
     return Segment.from_anchor(

@@ -83,7 +83,6 @@ class TestFlashArray:
             flash.program_page(2, lpa=3)  # skips page offset 1
 
     def test_invalidate_and_erase(self, flash):
-        block_pages = flash.geometry.pages_per_block
         for offset in range(4):
             flash.program_page(offset, lpa=offset)
         assert flash.valid_page_count(0) == 4

@@ -301,10 +301,13 @@ class TestGoldenAccounting:
 
 
 #: Pinned by running the fixed-seed workload above; see TestGoldenAccounting.
-GOLDEN_GC_PAGE_READS = 36219
-GOLDEN_GC_PAGE_WRITES = 35835
-GOLDEN_GC_BLOCK_ERASES = 619
-GOLDEN_WAF = 7.446041822255414
+#: Re-pinned when the block allocator moved from hash-ordered sets to
+#: insertion-ordered pools with an explicit (erase count, block id) tie-break
+#: (simlint SIM003): victim cascades shifted slightly, WAF improved ~2%.
+GOLDEN_GC_PAGE_READS = 35387
+GOLDEN_GC_PAGE_WRITES = 35003
+GOLDEN_GC_BLOCK_ERASES = 606
+GOLDEN_WAF = 7.2907020164301715
 
 
 class TestWearLeveler:

@@ -4,8 +4,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
-
 from repro.config import LeaFTLConfig
 from repro.core.leaftl import LeaFTL
 from repro.flash.oob import OOBArea

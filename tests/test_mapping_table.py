@@ -10,12 +10,10 @@ from __future__ import annotations
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.config import LeaFTLConfig
 from repro.core.mapping_table import LogStructuredMappingTable
-
 
 def make_table(gamma=0):
     return LogStructuredMappingTable(LeaFTLConfig(gamma=gamma))

@@ -1,0 +1,71 @@
+"""simlint — determinism-and-correctness static analysis for the simulator.
+
+Run from the repository root::
+
+    python -m tools.simlint src/
+
+The rules (see ``python -m tools.simlint --list-rules``):
+
+========  ===================================================================
+SIM001    no wall-clock reads inside the device model (simulated time only)
+SIM002    randomness must be an injected, explicitly seeded ``Random``
+SIM003    no iteration over unordered sets where order feeds behaviour
+SIM004    no ``==``/``!=`` between float timestamps (``*_us`` / ``*_s``)
+SIM005    no mutable default arguments
+SIM006    stats counters are ``+=``-monotone outside ``__init__``/``reset``
+========  ===================================================================
+
+Suppress a single finding inline with ``# simlint: disable=SIM003`` on the
+offending line; scope rules to paths in ``simlint.toml``.
+"""
+
+from tools.simlint.config import RuleConfig, SimlintConfig
+from tools.simlint.engine import (
+    RULES,
+    FileContext,
+    Finding,
+    ImportMap,
+    Rule,
+    iter_python_files,
+    lint_file,
+    register,
+)
+from tools.simlint import rules as _rules  # noqa: F401  (registers the rules)
+
+__all__ = [
+    "RULES",
+    "FileContext",
+    "Finding",
+    "ImportMap",
+    "Rule",
+    "RuleConfig",
+    "SimlintConfig",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "register",
+]
+
+
+def lint_paths(paths, config=None):
+    """Lint files/directories; returns a sorted list of findings.
+
+    ``config`` defaults to the ``simlint.toml`` discovered from the first
+    path (falling back to an all-defaults configuration).
+    """
+    from pathlib import Path
+
+    roots = [Path(p) for p in paths]
+    if config is None:
+        start = roots[0] if roots else Path.cwd()
+        config = SimlintConfig.discover(start)
+    active = config.active_rules()
+    findings = []
+    for path in iter_python_files(roots):
+        if config.is_excluded(path):
+            continue
+        applicable = [rule for rule in active if config.rule_applies(rule, path)]
+        if not applicable:
+            continue
+        findings.extend(lint_file(path, config.relpath(path), applicable))
+    return sorted(findings)

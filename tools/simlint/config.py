@@ -1,0 +1,210 @@
+"""simlint configuration: path scoping per rule, loaded from ``simlint.toml``.
+
+The config file lives at the repository root and scopes each rule to the
+paths where its contract applies (SIM001 to the device model, SIM006 to the
+stats modules, ...).  Files are matched by posix-style path prefix relative
+to the config root, so ``"src/repro/sim"`` covers the whole package and
+``"src/repro/flash/allocator.py"`` exactly one file.
+
+Python 3.11+ parses the file with :mod:`tomllib`; on 3.10 a minimal
+built-in parser covers the subset simlint uses (``[section]`` tables,
+string lists, strings, booleans) — no third-party TOML dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+try:  # Python 3.11+
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - exercised on py3.10 only
+    tomllib = None  # type: ignore[assignment]
+
+from tools.simlint.engine import RULES, Rule
+
+#: Default name of the config file, searched upward from the lint roots.
+CONFIG_NAME = "simlint.toml"
+
+#: Directories never linted (match anywhere in the path).
+_ALWAYS_EXCLUDED = (".git", "__pycache__")
+
+
+def _parse_minimal_toml(text: str) -> Dict[str, Dict[str, object]]:
+    """Parse the TOML subset simlint.toml uses (py3.10 fallback).
+
+    Supports ``[dotted.section]`` headers, and ``key = value`` where value
+    is a string, boolean, integer, or a (possibly multi-line) list of
+    strings.  Comments and blank lines are skipped.
+    """
+    tables: Dict[str, Dict[str, object]] = {}
+    current: Dict[str, object] = tables.setdefault("", {})
+    pending_key: Optional[str] = None
+    pending_items: List[str] = []
+
+    def parse_scalar(token: str) -> object:
+        token = token.strip()
+        if token.startswith(('"', "'")):
+            return token[1:-1]
+        if token in ("true", "false"):
+            return token == "true"
+        return int(token)
+
+    def parse_list_items(body: str) -> List[str]:
+        items: List[str] = []
+        for piece in body.split(","):
+            piece = piece.strip()
+            if piece:
+                items.append(str(parse_scalar(piece)))
+        return items
+
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip() if not raw.lstrip().startswith("#") else ""
+        if not line.strip():
+            continue
+        stripped = line.strip()
+        if pending_key is not None:
+            closing = stripped.endswith("]")
+            body = stripped[:-1] if closing else stripped
+            pending_items.extend(parse_list_items(body))
+            if closing:
+                current[pending_key] = pending_items
+                pending_key, pending_items = None, []
+            continue
+        if stripped.startswith("[") and stripped.endswith("]"):
+            name = stripped[1:-1].strip().strip('"')
+            current = tables.setdefault(name, {})
+            continue
+        key, _, value = stripped.partition("=")
+        key, value = key.strip().strip('"'), value.strip()
+        if value.startswith("["):
+            body = value[1:]
+            if body.rstrip().endswith("]"):
+                current[key] = parse_list_items(body.rstrip()[:-1])
+            else:
+                pending_key, pending_items = key, parse_list_items(body)
+        else:
+            current[key] = parse_scalar(value)
+    return tables
+
+
+def _load_toml(path: Path) -> Dict[str, object]:
+    if tomllib is not None:
+        with path.open("rb") as handle:
+            return tomllib.load(handle)
+    # Fallback: flatten the minimal parser's dotted sections into the same
+    # nested-dict shape tomllib produces.
+    flat = _parse_minimal_toml(path.read_text(encoding="utf-8"))
+    nested: Dict[str, object] = dict(flat.get("", {}))
+    for section, values in flat.items():
+        if not section:
+            continue
+        cursor = nested
+        for part in section.split("."):
+            cursor = cursor.setdefault(part, {})  # type: ignore[assignment]
+        cursor.update(values)  # type: ignore[union-attr]
+    return nested
+
+
+@dataclass
+class RuleConfig:
+    """Per-rule overrides from ``[rules.SIMxxx]`` tables."""
+
+    enabled: bool = True
+    paths: Optional[Tuple[str, ...]] = None  # None = the rule's defaults
+
+
+@dataclass
+class SimlintConfig:
+    """Resolved configuration: lint roots, exclusions, per-rule scoping."""
+
+    root: Path = field(default_factory=Path.cwd)
+    include: Tuple[str, ...] = ("src", "tools")
+    exclude: Tuple[str, ...] = ()
+    rules: Dict[str, RuleConfig] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "SimlintConfig":
+        data = _load_toml(path)
+        simlint = data.get("simlint", {})
+        if not isinstance(simlint, dict):
+            raise ValueError(f"{path}: [simlint] must be a table")
+        rules: Dict[str, RuleConfig] = {}
+        raw_rules = data.get("rules", {})
+        if isinstance(raw_rules, dict):
+            for code, overrides in raw_rules.items():
+                if not isinstance(overrides, dict):
+                    raise ValueError(f"{path}: [rules.{code}] must be a table")
+                if code not in RULES:
+                    raise ValueError(f"{path}: unknown rule {code!r}")
+                paths = overrides.get("paths")
+                rules[code] = RuleConfig(
+                    enabled=bool(overrides.get("enabled", True)),
+                    paths=tuple(paths) if paths is not None else None,
+                )
+        return cls(
+            root=path.parent.resolve(),
+            include=tuple(simlint.get("include", ("src", "tools"))),
+            exclude=tuple(simlint.get("exclude", ())),
+            rules=rules,
+        )
+
+    @classmethod
+    def discover(cls, start: Path) -> "SimlintConfig":
+        """Find ``simlint.toml`` at ``start`` or the nearest ancestor."""
+        probe = start.resolve()
+        if probe.is_file():
+            probe = probe.parent
+        for candidate in (probe, *probe.parents):
+            config_path = candidate / CONFIG_NAME
+            if config_path.is_file():
+                return cls.load(config_path)
+        return cls(root=probe)
+
+    # ------------------------------------------------------------------ #
+    # Scoping
+    # ------------------------------------------------------------------ #
+    def relpath(self, path: Path) -> str:
+        resolved = path.resolve()
+        try:
+            return resolved.relative_to(self.root).as_posix()
+        except ValueError:
+            return resolved.as_posix()
+
+    def is_excluded(self, path: Path) -> bool:
+        rel = self.relpath(path)
+        parts = rel.split("/")
+        if any(part in _ALWAYS_EXCLUDED for part in parts):
+            return True
+        return any(_prefix_match(rel, prefix) for prefix in self.exclude)
+
+    def rule_applies(self, rule: Rule, path: Path) -> bool:
+        override = self.rules.get(rule.code)
+        if override is not None and not override.enabled:
+            return False
+        scopes: Sequence[str]
+        if override is not None and override.paths is not None:
+            scopes = override.paths
+        else:
+            scopes = rule.default_paths
+        rel = self.relpath(path)
+        return any(_prefix_match(rel, scope) for scope in scopes)
+
+    def active_rules(self) -> List[Rule]:
+        """Instantiate every enabled rule, in code order."""
+        active: List[Rule] = []
+        for code in sorted(RULES):
+            override = self.rules.get(code)
+            if override is not None and not override.enabled:
+                continue
+            active.append(RULES[code]())
+        return active
+
+
+def _prefix_match(rel: str, scope: str) -> bool:
+    """``scope`` matches ``rel`` exactly, or as a directory prefix."""
+    if scope in ("", "."):
+        return True
+    scope = scope.rstrip("/")
+    return rel == scope or rel.startswith(scope + "/")
