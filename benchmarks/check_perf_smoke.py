@@ -1,0 +1,83 @@
+"""CI perf smoke: fail when replay throughput regresses hard.
+
+Measures one replay configuration (default ``qd8_events``) at a reduced
+scale and compares wall-clock IOs/sec against the most recent committed
+point in ``BENCH_replay.json``.  Exit 1 when the measurement falls more
+than ``--max-regression`` (default 30%) below the baseline::
+
+    PYTHONPATH=src python benchmarks/check_perf_smoke.py --scale 0.25
+
+Calibration notes, so the threshold is read honestly:
+
+* the committed baseline is recorded at scale 1.0; a reduced-scale run
+  measures *higher* IOs/sec (less accumulated GC/aging work per
+  request), so the headroom is asymmetric in the safe direction —
+  the gate trips on structural regressions (losing a fast path,
+  accidental O(n^2) reintroduction), not on noise;
+* same-machine run-to-run variance is roughly +/-10%, and CI runners
+  differ from the machine that recorded the baseline, which is why the
+  threshold is 30% rather than 10%.
+
+Tighten ``--max-regression`` only after re-recording the baseline on
+the infrastructure that runs this check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+if str(REPO / "src") not in sys.path:
+    sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "benchmarks"))
+
+from record_trajectory import CONFIGS, DEFAULT_OUTPUT  # noqa: E402
+
+
+def baseline_ios_per_sec(trajectory: Path, config: str) -> float:
+    history = json.loads(trajectory.read_text())
+    if not history.get("runs"):
+        raise SystemExit(f"{trajectory} has no recorded runs to compare against")
+    last = history["runs"][-1]
+    try:
+        return float(last["configs"][config]["ios_per_sec"])
+    except KeyError as error:
+        raise SystemExit(
+            f"baseline run {last.get('label')!r} has no {config}/ios_per_sec"
+        ) from error
+
+
+def main(argv: list = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--config", default="qd8_events", choices=sorted(CONFIGS))
+    parser.add_argument(
+        "--scale", type=float, default=0.25, help="request-count scale factor"
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="fail when measured IOs/sec drops more than this fraction below baseline",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_OUTPUT, help="trajectory file"
+    )
+    args = parser.parse_args(argv)
+
+    baseline = baseline_ios_per_sec(args.baseline, args.config)
+    floor = baseline * (1.0 - args.max_regression)
+    print(f"measuring {args.config} at scale {args.scale} ...", flush=True)
+    measured = CONFIGS[args.config](args.scale)["ios_per_sec"]
+    verdict = "ok" if measured >= floor else "REGRESSION"
+    print(
+        f"{args.config}: measured {measured:,.1f} IOs/sec vs committed baseline "
+        f"{baseline:,.1f} (floor {floor:,.1f} at -{args.max_regression:.0%}): {verdict}"
+    )
+    return 0 if measured >= floor else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -161,8 +161,31 @@ CONFIGS: Dict[str, Callable[[float], Dict[str, float]]] = {
 }
 
 
+def _profiled(name: str, bench: Callable[[float], Dict[str, float]], scale: float) -> Dict[str, float]:
+    """Run one config under cProfile and print its top-25 cumulative functions.
+
+    The wall-clock numbers of a profiled run are inflated by instrumentation
+    overhead (roughly 2-3x), which is why ``--profile`` never writes to the
+    trajectory file — the printout is for perf work, not the baseline.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = bench(scale)
+    profiler.disable()
+    print(f"  --- {name}: top 25 by cumulative time (instrumented) ---", flush=True)
+    pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
+    return result
+
+
 def record(
-    label: str, scale: float, output: Path, dry_run: bool = False
+    label: str,
+    scale: float,
+    output: Path,
+    dry_run: bool = False,
+    profile: bool = False,
 ) -> Dict[str, object]:
     entry: Dict[str, object] = {
         "recorded_at": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
@@ -174,7 +197,10 @@ def record(
     }
     for name, bench in CONFIGS.items():
         print(f"  measuring {name} ...", flush=True)
-        entry["configs"][name] = bench(scale)  # type: ignore[index]
+        if profile:
+            entry["configs"][name] = _profiled(name, bench, scale)  # type: ignore[index]
+        else:
+            entry["configs"][name] = bench(scale)  # type: ignore[index]
     if not dry_run:
         history = {"runs": []}
         if output.exists():
@@ -200,10 +226,22 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument(
         "--dry-run", action="store_true", help="measure and print, do not write"
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run each config under cProfile and print its top-25 cumulative "
+        "functions; implies --dry-run (instrumented timings are inflated)",
+    )
     args = parser.parse_args(argv)
-    entry = record(args.label, args.scale, args.output, dry_run=args.dry_run)
+    entry = record(
+        args.label,
+        args.scale,
+        args.output,
+        dry_run=args.dry_run or args.profile,
+        profile=args.profile,
+    )
     print(json.dumps(entry, indent=2, sort_keys=True))
-    if not args.dry_run:
+    if not (args.dry_run or args.profile):
         print(f"appended to {args.output}")
     return 0
 

@@ -12,6 +12,7 @@ of the paper.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -21,7 +22,7 @@ from repro.core.plr import LearnedSegment
 from repro.core.segment import GROUP_SIZE, SEGMENT_BYTES, Segment
 
 
-@dataclass
+@dataclass(slots=True)
 class GroupLookup:
     """Result of a group-level LPA lookup."""
 
@@ -42,6 +43,13 @@ class LPAGroup:
         self.group_size = group_size
         self._levels: List[Level] = []
         self.crb = ConflictResolutionBuffer()
+        #: Bumped by every mutating entry point (``update``/``compact``);
+        #: keys the memoized DRAM-footprint computation below.  The sampled
+        #: footprint is digest-pinned, so the cache must only ever skip
+        #: recomputation, never change the result.
+        self._mutations = 0
+        self._memory_key = (-1, 0)
+        self._memory_value = 0
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -54,7 +62,10 @@ class LPAGroup:
         return list(self._levels)
 
     def segment_count(self) -> int:
-        return sum(len(level) for level in self._levels)
+        count = 0
+        for level in self._levels:
+            count += len(level)
+        return count
 
     def segments(self) -> List[Segment]:
         """All segments, topmost level first."""
@@ -64,12 +75,24 @@ class LPAGroup:
         return result
 
     def memory_bytes(self, level_overhead_bytes: int = 0) -> int:
-        """DRAM footprint: 8 bytes per segment + CRB + per-level overhead."""
-        return (
+        """DRAM footprint: 8 bytes per segment + CRB + per-level overhead.
+
+        Memoized on the group's mutation counter: the footprint is sampled
+        after every flush across *all* groups, but a flush only mutates the
+        few groups its pages fall in, so untouched groups return the cached
+        value.
+        """
+        key = (self._mutations, level_overhead_bytes)
+        if key == self._memory_key:
+            return self._memory_value
+        value = (
             self.segment_count() * SEGMENT_BYTES
             + self.crb.size_bytes()
-            + self.level_count * level_overhead_bytes
+            + len(self._levels) * level_overhead_bytes
         )
+        self._memory_key = key
+        self._memory_value = value
+        return value
 
     # ------------------------------------------------------------------ #
     # Membership (Algorithm 2, has_lpa)
@@ -87,7 +110,7 @@ class LPAGroup:
         if segment.is_removable:
             return []
         if segment.accurate:
-            return list(segment.covered_lpas_accurate())
+            return segment.covered_lpas_accurate_list()
         return [lpa for lpa in self.crb.lpas_of(segment) if segment.covers(lpa)]
 
     # ------------------------------------------------------------------ #
@@ -98,6 +121,7 @@ class LPAGroup:
         segment = learned.segment
         if segment.group_base != self.group_base:
             raise ValueError("segment belongs to a different group")
+        self._mutations += 1
         if not segment.accurate:
             self.crb.insert_segment(segment, learned.lpas)
         self._insert_at_level(segment, 0)
@@ -112,12 +136,11 @@ class LPAGroup:
         level = self._level_at(level_index)
         level.insert(segment)
 
-        victims = [
-            candidate
-            for candidate in level.overlapping(segment.start_lpa, segment.end_lpa)
-            if candidate is not segment
-        ]
-        for victim in victims:
+        length = segment.length
+        end_lpa = segment.start_lpa + (length if length > 0 else 0)
+        for victim in level.overlapping(segment.start_lpa, end_lpa):
+            if victim is segment:
+                continue
             self._merge(segment, victim)
             if victim.is_removable:
                 level.remove(victim)
@@ -151,29 +174,78 @@ class LPAGroup:
     # ------------------------------------------------------------------ #
     # Merge (Algorithm 2)
     # ------------------------------------------------------------------ #
-    def _bitmap(self, segment: Segment, start: int, end: int) -> List[bool]:
-        """Algorithm 2, get_bitmap: mark the LPAs the segment encodes."""
-        return [self.has_lpa(segment, lpa) for lpa in range(start, end + 1)]
-
     def _merge(self, new: Segment, old: Segment) -> None:
-        """Remove from ``old`` every LPA that ``new`` now encodes."""
-        start = min(new.start_lpa, old.start_lpa)
-        end = max(new.end_lpa, old.end_lpa)
-        bitmap_new = self._bitmap(new, start, end)
-        bitmap_old = self._bitmap(old, start, end)
-        remaining = [
-            old_bit and not new_bit for old_bit, new_bit in zip(bitmap_old, bitmap_new)
-        ]
-        if not any(remaining):
+        """Remove from ``old`` every LPA that ``new`` now encodes.
+
+        The paper's Algorithm 2 materializes per-LPA bitmaps over the union
+        range; building the covered-LPA sets directly from segment metadata
+        (stride lattice for accurate segments, CRB entries for approximate
+        ones) computes the same remainder without the per-LPA ``has_lpa``
+        scans, and produces the identical trimmed ``(start_lpa, length)``
+        state — including the stride-phase behaviour of trimmed accurate
+        segments, which is anchored at the new ``start_lpa`` in both forms.
+
+        When the *new* segment is accurate its membership is an O(1) lattice
+        test, so the remainder needs no set materialization at all: an
+        accurate victim only needs its surviving endpoints (scanned from both
+        ends of its stride lattice), and an approximate victim filters its
+        CRB list directly.  Both branches compute exactly the endpoints the
+        set difference would.
+        """
+        if new.accurate:
+            n_start = new.start_lpa
+            n_len = new.length
+            n_end = n_start + n_len if n_len > 0 else n_start
+            n_stride = new.stride
+            if old.accurate:
+                o_stride = old.stride
+                first = old.start_lpa
+                o_len = old.length
+                o_last = (
+                    first + (o_len // o_stride) * o_stride if o_len > 0 else first
+                )
+                while (
+                    first <= o_last
+                    and n_start <= first <= n_end
+                    and (first - n_start) % n_stride == 0
+                ):
+                    first += o_stride
+                if first > o_last:
+                    old.mark_removable()
+                    return
+                last = o_last
+                while (
+                    n_start <= last <= n_end and (last - n_start) % n_stride == 0
+                ):
+                    last -= o_stride
+                old.start_lpa = first
+                old.length = last - first
+                return
+            remaining_list = [
+                lpa
+                for lpa in self.covered_lpas(old)
+                if not (
+                    n_start <= lpa <= n_end and (lpa - n_start) % n_stride == 0
+                )
+            ]
+            if not remaining_list:
+                old.mark_removable()
+                return
+            old.start_lpa = remaining_list[0]
+            old.length = remaining_list[-1] - remaining_list[0]
+            self.crb.retain_lpas(old, remaining_list)
+            return
+        remaining = set(self.covered_lpas(old))
+        remaining.difference_update(self.covered_lpas(new))
+        if not remaining:
             old.mark_removable()
             return
-        first = remaining.index(True)
-        last = len(remaining) - 1 - remaining[::-1].index(True)
-        old.start_lpa = start + first
+        first = min(remaining)
+        last = max(remaining)
+        old.start_lpa = first
         old.length = last - first
         if not old.accurate:
-            keep = [start + i for i, bit in enumerate(remaining) if bit]
-            self.crb.retain_lpas(old, keep)
+            self.crb.retain_lpas(old, remaining)
 
     # ------------------------------------------------------------------ #
     # Lookup (Algorithm 1, lookup)
@@ -203,17 +275,44 @@ class LPAGroup:
         count = end_lpa - start_lpa + 1
         results: List[Optional[GroupLookup]] = [None] * count
         unresolved = count
+        ceil = math.ceil
         for depth, level in enumerate(self._levels, start=1):
             if unresolved == 0:
                 break
             for segment in level.overlapping(start_lpa, end_lpa):
-                low = max(segment.start_lpa, start_lpa)
-                high = min(segment.end_lpa, end_lpa)
-                for lpa in range(low, high + 1):
+                low = segment.start_lpa
+                if low < start_lpa:
+                    low = start_lpa
+                high = segment.end_lpa
+                if high > end_lpa:
+                    high = end_lpa
+                # Enumerate only the LPAs this segment actually encodes
+                # instead of probing every LPA of the clipped interval.
+                if segment.accurate:
+                    seg_start = segment.start_lpa
+                    if segment.length <= 0:
+                        members = (seg_start,) if low <= seg_start <= high else ()
+                    else:
+                        stride = segment.stride
+                        offset = low - seg_start
+                        phase = offset % stride
+                        if phase:
+                            low += stride - phase
+                        members = range(low, high + 1, stride)
+                else:
+                    members = [
+                        lpa
+                        for lpa in self.crb.lpas_of(segment)
+                        if low <= lpa <= high
+                    ]
+                slope = segment.slope
+                intercept = segment.intercept
+                group_base = segment.group_base
+                for lpa in members:
                     index = lpa - start_lpa
-                    if results[index] is None and self.has_lpa(segment, lpa):
+                    if results[index] is None:
                         results[index] = GroupLookup(
-                            ppa=segment.predict(lpa),
+                            ppa=int(ceil(slope * (lpa - group_base) + intercept)),
                             levels_searched=depth,
                             segment=segment,
                         )
@@ -226,6 +325,7 @@ class LPAGroup:
     # ------------------------------------------------------------------ #
     def compact(self) -> None:
         """Merge upper levels downward until no further space can be reclaimed."""
+        self._mutations += 1
         guard = len(self._levels) + self.segment_count() + 4
         while len(self._levels) > 1 and guard > 0:
             guard -= 1

@@ -87,11 +87,27 @@ class Level:
         self._starts.insert(index, segment.start_lpa)
 
     def remove(self, segment: Segment) -> None:
-        """Remove ``segment`` (identity match) from the level."""
-        for index, existing in enumerate(self._segments):
+        """Remove ``segment`` (identity match) from the level.
+
+        The common case — the segment's ``start_lpa`` unchanged since
+        insertion — is located with a binary search over the recorded
+        starts; a merge-trimmed segment whose start moved falls back to
+        the identity scan.
+        """
+        segments = self._segments
+        starts = self._starts
+        index = bisect.bisect_left(starts, segment.start_lpa)
+        total = len(segments)
+        while index < total and starts[index] == segment.start_lpa:
+            if segments[index] is segment:
+                del segments[index]
+                del starts[index]
+                return
+            index += 1
+        for index, existing in enumerate(segments):
             if existing is segment:
-                del self._segments[index]
-                del self._starts[index]
+                del segments[index]
+                del starts[index]
                 return
         raise ValueError("segment not present in this level")
 

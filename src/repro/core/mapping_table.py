@@ -25,7 +25,7 @@ from repro.core.plr import LearnedSegment, PLRLearner
 from repro.core.segment import Segment, group_base_of
 
 
-@dataclass
+@dataclass(slots=True)
 class LookupResult:
     """Outcome of a mapping-table lookup."""
 
@@ -70,7 +70,9 @@ def iter_resolution_runs(
         while stop < total and results[stop].segment is segment:
             if group_size is not None and (start_lpa + stop) % group_size == 0:
                 break
-            depth = max(depth, results[stop].levels_searched)
+            levels = results[stop].levels_searched
+            if levels > depth:
+                depth = levels
             stop += 1
         yield index, stop, segment, depth
         index = stop
@@ -210,10 +212,14 @@ class LogStructuredMappingTable:
         lpa = start_lpa
         end = start_lpa + npages
         group_size = self.config.group_size
+        groups_get = self._groups.get
+        append = results.append
         while lpa < end:
             group_base = group_base_of(lpa, group_size)
-            chunk_end = min(end, group_base + group_size)
-            group = self._groups.get(group_base)
+            chunk_end = group_base + group_size
+            if chunk_end > end:
+                chunk_end = end
+            group = groups_get(group_base)
             if group is None:
                 results.extend(
                     LookupResult(ppa=None, levels_searched=1)
@@ -221,10 +227,11 @@ class LogStructuredMappingTable:
                 )
             else:
                 for found in group.lookup_range(lpa, chunk_end - 1):
-                    results.append(
+                    levels = found.levels_searched
+                    append(
                         LookupResult(
                             ppa=found.ppa,
-                            levels_searched=max(found.levels_searched, 1),
+                            levels_searched=levels if levels > 1 else 1,
                             segment=found.segment,
                         )
                     )

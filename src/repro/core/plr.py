@@ -22,9 +22,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from repro.core.segment import GROUP_SIZE, Segment, group_base_of
+from repro.compat import HAVE_NUMPY, np
+from repro.core.segment import GROUP_SIZE, Segment
+
+#: Candidate sizes at or above this use the numpy batch verifier.  The
+#: vectorized path performs the same float64 multiply/add/ceil per point as
+#: the scalar loop, so the threshold only affects speed, never results.
+_VERIFY_VECTOR_MIN = 24
 
 
 @dataclass
@@ -77,9 +83,10 @@ class PLRLearner:
 
         learned: List[LearnedSegment] = []
         run_start = 0
-        current_group = group_base_of(points[0][0], self.group_size)
+        group_size = self.group_size
+        current_group = points[0][0] // group_size * group_size
         for index, (lpa, _ppa) in enumerate(points):
-            base = group_base_of(lpa, self.group_size)
+            base = lpa // group_size * group_size
             if base != current_group:
                 learned.extend(self._learn_group(points[run_start:index], current_group))
                 run_start = index
@@ -94,44 +101,85 @@ class PLRLearner:
         self, points: Sequence[Tuple[int, int]], group_base: int
     ) -> List[LearnedSegment]:
         """Greedy cone-based PLR over the points of a single group."""
+        count = len(points)
+        if count == 1:
+            # Isolated write: degenerate single-point segment, no cone walk.
+            lpa, ppa = points[0]
+            return [
+                LearnedSegment(Segment.single_point(group_base, lpa, ppa), [lpa])
+            ]
         segments: List[LearnedSegment] = []
         start = 0
-        count = len(points)
         while start < count:
-            end = self._extend_cone(points, start)
-            segments.extend(self._finalize(points[start:end], group_base))
+            end, low, high = self._extend_cone(points, start)
+            segments.extend(
+                self._finalize(points[start:end], group_base, cone=(low, high))
+            )
             start = end
         return segments
 
-    def _extend_cone(self, points: Sequence[Tuple[int, int]], start: int) -> int:
-        """Return the exclusive end index of the longest feasible segment."""
+    def _extend_cone(
+        self, points: Sequence[Tuple[int, int]], start: int
+    ) -> Tuple[int, float, float]:
+        """Extend the feasible-slope cone from ``points[start]``.
+
+        Returns the exclusive end index of the longest feasible segment plus
+        the final cone bounds, so the caller can derive the fitted slope
+        without re-walking the points (the bounds are narrowed with exactly
+        the float operations a fresh pass would perform).
+        """
         x0, y0 = points[start]
         low = -math.inf
         high = math.inf
         gamma = float(self.gamma)
+        group_span = self.group_size - 1
         index = start + 1
-        while index < len(points):
+        count = len(points)
+        if gamma == 0.0:
+            # Single-ratio form: ``(y ± 0.0 - y0) / dx`` and ``(y - y0) / dx``
+            # are bit-identical for exact-integer operands, so point_low and
+            # point_high collapse into one division.
+            while index < count:
+                x, y = points[index]
+                if x - x0 > group_span:
+                    break
+                ratio = (y - y0) / (x - x0)
+                new_low = low if low > ratio else ratio
+                new_high = high if high < ratio else ratio
+                if new_low > new_high:
+                    break
+                low, high = new_low, new_high
+                index += 1
+            return index, low, high
+        while index < count:
             x, y = points[index]
             # The configured group span, not the module-wide maximum: with
             # group_size < 256 a cone must still stop at the group boundary
             # (the 1-byte S_LPA/L fields are group-relative).
-            if x - x0 > self.group_size - 1:
+            if x - x0 > group_span:
                 break
             dx = float(x - x0)
             point_low = (y - gamma - y0) / dx
             point_high = (y + gamma - y0) / dx
-            new_low = max(low, point_low)
-            new_high = min(high, point_high)
+            new_low = low if low > point_low else point_low
+            new_high = high if high < point_high else point_high
             if new_low > new_high:
                 break
             low, high = new_low, new_high
             index += 1
-        return index
+        return index, low, high
 
     def _finalize(
-        self, points: Sequence[Tuple[int, int]], group_base: int
+        self,
+        points: Sequence[Tuple[int, int]],
+        group_base: int,
+        cone: Optional[Tuple[float, float]] = None,
     ) -> List[LearnedSegment]:
         """Fit, quantize and verify one candidate segment.
+
+        ``cone`` carries the feasible-slope bounds already narrowed by
+        :meth:`_extend_cone` so the slope needs no second pass over the
+        points; the recursive split fallback recomputes them for its halves.
 
         Falls back to splitting the candidate when the quantized model cannot
         honour the error bound (a rare event caused by float16 rounding).
@@ -145,7 +193,9 @@ class PLRLearner:
         lpas = [lpa for lpa, _ in points]
         x0, y0 = points[0]
         xn, yn = points[-1]
-        raw_slope = self._choose_slope(points)
+        raw_slope = (
+            self._slope_from_cone(*cone) if cone else self._choose_slope(points)
+        )
         length = xn - x0
 
         for accurate in (True, False) if self.gamma > 0 else (True,):
@@ -160,7 +210,7 @@ class PLRLearner:
                     accurate=accurate,
                     intercept_shift=shift,
                 )
-                if self._verify(segment, points, exact=accurate):
+                if self._verify(segment, points, exact=accurate, lpas=lpas):
                     return [LearnedSegment(segment, lpas)]
 
         # Quantization broke the bound: split the candidate and relearn.
@@ -181,25 +231,52 @@ class PLRLearner:
             high = min(high, (y + gamma - y0) / dx)
         if low > high:
             raise ValueError("inconsistent cone: caller must pass a feasible range")
-        slope = (low + high) / 2.0 if gamma else low
-        return min(max(slope, 0.0), 1.0)
+        return self._slope_from_cone(low, high)
+
+    def _slope_from_cone(self, low: float, high: float) -> float:
+        slope = (low + high) / 2.0 if self.gamma else low
+        # Clamp to [0, 1] with max()/min() equal-value semantics (the first
+        # argument wins on ties, so a -0.0 slope stays -0.0).
+        if slope < 0.0:
+            return 0.0
+        return slope if slope <= 1.0 else 1.0
 
     def _verify(
-        self, segment: Segment, points: Sequence[Tuple[int, int]], exact: bool
+        self,
+        segment: Segment,
+        points: Sequence[Tuple[int, int]],
+        exact: bool,
+        lpas: Optional[List[int]] = None,
     ) -> bool:
         """Check the quantized model against the real predict() semantics."""
         limit = 0 if exact else self.gamma
-        for lpa, ppa in points:
-            error = segment.predict(lpa) - ppa
-            if abs(error) > limit:
+        slope = segment.slope
+        intercept = segment.intercept
+        group_base = segment.group_base
+        if HAVE_NUMPY and len(points) >= _VERIFY_VECTOR_MIN:
+            # Same float64 multiply/add/ceil per point as the scalar loop.
+            lpa_vec = np.fromiter(
+                (p[0] for p in points), dtype=np.int64, count=len(points)
+            )
+            ppas = np.fromiter((p[1] for p in points), dtype=np.int64, count=len(points))
+            predicted = np.ceil(slope * (lpa_vec - group_base) + intercept)
+            if np.abs(predicted - ppas).max() > limit:
                 return False
+        else:
+            ceil = math.ceil
+            for lpa, ppa in points:
+                error = ceil(slope * (lpa - group_base) + intercept) - ppa
+                if error > limit or -error > limit:
+                    return False
         # Accurate segments must also be *enumerable* from their metadata:
         # the stride test of Algorithm 2 has to report exactly the learned
         # LPAs, otherwise lookups would claim LPAs the segment does not hold.
+        # Both sides are sorted and duplicate-free, so list equality replaces
+        # the set comparison.
         if exact and len(points) > 1:
-            learned = set(lpa for lpa, _ in points)
-            derived = set(segment.covered_lpas_accurate())
-            if learned != derived:
+            if lpas is None:
+                lpas = [lpa for lpa, _ in points]
+            if lpas != segment.covered_lpas_accurate_list():
                 return False
         return True
 

@@ -30,15 +30,18 @@ would (float16 with the type bit forced), so mispredictions in the simulator
 match what the real 8-byte encoding produces.  The intercept is kept at full
 float64 precision internally; on the device it is anchored at the group base
 and stored in 4 bytes, which this model treats as lossless.
+
+Float16 conversions go through :mod:`struct`'s IEEE ``'e'`` format, which is
+bit-identical to ``numpy.float16`` round-to-nearest-even (exhaustively
+checked in the test suite) — this keeps the learned-index core importable,
+and the whole simulator runnable, without numpy.
 """
 
 from __future__ import annotations
 
 import math
 import struct
-from typing import Iterator
-
-import numpy as np
+from typing import Iterator, List
 
 #: Number of contiguous LPAs covered by one group (Section 3.2).
 GROUP_SIZE = 256
@@ -50,14 +53,27 @@ SEGMENT_BYTES = 8
 #: (Algorithm 2 sets ``L = -1``).
 REMOVABLE = -1
 
+_pack_half = struct.Struct("<e").pack
+_pack_bits = struct.Struct("<H").pack
+_unpack_half = struct.Struct("<e").unpack
+_unpack_bits = struct.Struct("<H").unpack
+
 
 def _float16_bits(value: float) -> int:
     """The uint16 bit pattern of ``value`` rounded to IEEE float16."""
-    return int(np.float16(value).view(np.uint16))
+    return _unpack_bits(_pack_half(value))[0]
 
 
 def _bits_to_float(bits: int) -> float:
-    return float(np.uint16(bits).view(np.float16))
+    return _unpack_half(_pack_bits(bits))[0]
+
+
+#: Memo of ``quantize_slope`` results.  Keys conflate ``-0.0``/``0.0``
+#: (equal hash and value), which is harmless: both quantize identically.
+_QUANTIZE_CACHE: dict = {}
+
+#: Memo of the per-slope stride (``ceil(1 / K)``) computed in ``__init__``.
+_STRIDE_CACHE: dict = {}
 
 
 def quantize_slope(slope: float, accurate: bool) -> float:
@@ -69,23 +85,31 @@ def quantize_slope(slope: float, accurate: bool) -> float:
     than the true slope so that ``ceil`` never overshoots the next stride
     point; this is what keeps accurate segments exact after quantization.
     """
+    key = (slope, accurate)
+    cached = _QUANTIZE_CACHE.get(key)
+    if cached is not None:
+        return cached
     if slope < 0.0:
         raise ValueError("segment slopes are non-negative")
     if slope == 0.0:
         # 0.0 has an all-zero encoding whose LSB already marks "accurate";
         # an approximate single-point segment uses the smallest subnormal.
-        return 0.0 if accurate else _bits_to_float(1)
-
-    bits = _float16_bits(slope)
-    if accurate:
-        # Round toward zero if float16 rounding went up.
-        if _bits_to_float(bits) > slope:
-            bits -= 1
-        # Force the type bit to 0, which can only decrease the magnitude.
-        bits &= ~1
+        value = 0.0 if accurate else _bits_to_float(1)
     else:
-        bits |= 1
-    return _bits_to_float(bits)
+        bits = _float16_bits(slope)
+        if accurate:
+            # Round toward zero if float16 rounding went up.
+            if _bits_to_float(bits) > slope:
+                bits -= 1
+            # Force the type bit to 0, which can only decrease the magnitude.
+            bits &= ~1
+        else:
+            bits |= 1
+        value = _bits_to_float(bits)
+    if len(_QUANTIZE_CACHE) > 8192:
+        _QUANTIZE_CACHE.clear()
+    _QUANTIZE_CACHE[key] = value
+    return value
 
 
 def slope_is_accurate(slope: float) -> bool:
@@ -94,9 +118,22 @@ def slope_is_accurate(slope: float) -> bool:
 
 
 class Segment:
-    """A learned index segment within one LPA group."""
+    """A learned index segment within one LPA group.
 
-    __slots__ = ("group_base", "start_lpa", "length", "slope", "intercept", "accurate")
+    ``slope`` (and therefore the stride of an accurate segment) is immutable
+    after construction — merges only ever trim ``start_lpa``/``length`` — so
+    the stride is computed once and cached in the ``stride`` slot.
+    """
+
+    __slots__ = (
+        "group_base",
+        "start_lpa",
+        "length",
+        "slope",
+        "intercept",
+        "accurate",
+        "stride",
+    )
 
     def __init__(
         self,
@@ -107,7 +144,7 @@ class Segment:
         intercept: float,
         accurate: bool,
     ) -> None:
-        if start_lpa < group_base or start_lpa + max(length, 0) >= group_base + GROUP_SIZE:
+        if start_lpa < group_base or start_lpa + (length if length > 0 else 0) >= group_base + GROUP_SIZE:
             raise ValueError(
                 f"segment [{start_lpa}, {start_lpa + length}] does not fit in group "
                 f"starting at {group_base}"
@@ -120,6 +157,15 @@ class Segment:
         self.slope = slope
         self.intercept = intercept
         self.accurate = accurate
+        #: LPA step between covered points of an accurate segment
+        #: (``ceil(1 / K)``; 1 for single points and zero slopes).
+        stride = _STRIDE_CACHE.get(slope)
+        if stride is None:
+            stride = 1 if slope == 0.0 else int(math.ceil(1.0 / slope))
+            if len(_STRIDE_CACHE) > 8192:
+                _STRIDE_CACHE.clear()
+            _STRIDE_CACHE[slope] = stride
+        self.stride = stride
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -172,7 +218,8 @@ class Segment:
     @property
     def end_lpa(self) -> int:
         """Last LPA of the covered interval (inclusive)."""
-        return self.start_lpa + max(self.length, 0)
+        length = self.length
+        return self.start_lpa + (length if length > 0 else 0)
 
     @property
     def is_removable(self) -> bool:
@@ -185,18 +232,11 @@ class Segment:
     def is_single_point(self) -> bool:
         return self.length == 0
 
-    @property
-    def stride(self) -> int:
-        """LPA stride of an accurate segment (``ceil(1 / K)``)."""
-        if not self.accurate:
-            raise ValueError("stride is only defined for accurate segments")
-        if self.slope == 0.0 or self.length == 0:
-            return 1
-        return int(math.ceil(1.0 / self.slope))
-
     def covers(self, lpa: int) -> bool:
         """True when ``lpa`` falls inside the segment's LPA interval."""
-        return not self.is_removable and self.start_lpa <= lpa <= self.end_lpa
+        length = self.length
+        start = self.start_lpa
+        return length != REMOVABLE and start <= lpa <= start + (length if length > 0 else 0)
 
     def overlaps(self, other: "Segment") -> bool:
         """True when the LPA intervals of the two segments intersect."""
@@ -205,9 +245,11 @@ class Segment:
         return self.start_lpa <= other.end_lpa and other.start_lpa <= self.end_lpa
 
     def overlaps_range(self, start_lpa: int, end_lpa: int) -> bool:
-        if self.is_removable:
+        length = self.length
+        if length == REMOVABLE:
             return False
-        return self.start_lpa <= end_lpa and start_lpa <= self.end_lpa
+        start = self.start_lpa
+        return start <= end_lpa and start_lpa <= start + (length if length > 0 else 0)
 
     def has_lpa_accurate(self, lpa: int) -> bool:
         """Membership test for accurate segments (Algorithm 2, ``has_lpa``).
@@ -215,26 +257,36 @@ class Segment:
         An accurate segment covers the regularly strided LPAs
         ``S, S + stride, S + 2*stride, ...`` within its interval.
         """
-        if not self.covers(lpa):
+        length = self.length
+        start = self.start_lpa
+        if length == REMOVABLE or lpa < start:
             return False
-        if self.length == 0:
-            return lpa == self.start_lpa
-        return (lpa - self.start_lpa) % self.stride == 0
+        if length <= 0:
+            return lpa == start
+        if lpa > start + length:
+            return False
+        return (lpa - start) % self.stride == 0
 
     def covered_lpas_accurate(self) -> Iterator[int]:
         """Iterate the LPAs an accurate segment encodes (from its metadata)."""
         if not self.accurate:
             raise ValueError("only accurate segments can enumerate LPAs from metadata")
-        if self.is_removable:
-            return
-        if self.length == 0:
-            yield self.start_lpa
-            return
-        step = self.stride
-        lpa = self.start_lpa
-        while lpa <= self.end_lpa:
-            yield lpa
-            lpa += step
+        return iter(self.covered_lpas_accurate_list())
+
+    def covered_lpas_accurate_list(self) -> List[int]:
+        """The LPAs an accurate segment encodes, as a list (hot-path form).
+
+        Equivalent to ``list(covered_lpas_accurate())`` but built with a
+        single C-level ``range`` expansion — the merge procedure calls this
+        for every victim candidate, so avoiding the generator matters.
+        """
+        length = self.length
+        if length == REMOVABLE:
+            return []
+        start = self.start_lpa
+        if length == 0:
+            return [start]
+        return list(range(start, start + length + 1, self.stride))
 
     # ------------------------------------------------------------------ #
     # Prediction

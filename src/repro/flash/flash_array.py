@@ -14,14 +14,30 @@ The array models the FTL-visible behaviour of NAND flash:
 The array does not store page payloads — the simulator is trace-driven and
 only address translation correctness matters.  Each valid page remembers the
 LPA it holds, which doubles as its "content" for verification purposes.
+
+Hot-state layout
+----------------
+
+Page and block state live in flat parallel arrays rather than per-page enum
+objects: page lifecycle codes in a ``bytearray`` (0 = FREE, 1 = VALID,
+2 = INVALID), reverse LPAs in an ``array('q')`` with ``-1`` as the
+no-mapping sentinel, and per-block counters in plain integer lists.  One
+flash block occupies a contiguous PPA range (see
+:mod:`repro.flash.geometry`), so block-granular operations are slice
+operations, ``valid_page_count`` is an O(1) counter read, and
+``valid_ppas_of_block`` is a vectorized ``flatnonzero`` over the block's
+slice when numpy is available (with a bit-identical scalar scan fallback).
+The :class:`PageState` enum remains the public vocabulary of the API.
 """
 
 from __future__ import annotations
 
 import enum
+from array import array
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
+from repro.compat import HAVE_NUMPY, np
 from repro.config import SSDConfig
 from repro.flash.geometry import FlashGeometry
 from repro.flash.oob import OOBArea
@@ -34,6 +50,14 @@ class PageState(enum.Enum):
     FREE = "free"
     VALID = "valid"
     INVALID = "invalid"
+
+
+#: Page-state byte codes used in the flat state array.
+_FREE, _VALID, _INVALID = 0, 1, 2
+_CODE_TO_STATE = (PageState.FREE, PageState.VALID, PageState.INVALID)
+
+#: Reverse-LPA sentinel meaning "page holds no mapping".
+_NO_LPA = -1
 
 
 class FlashError(RuntimeError):
@@ -56,20 +80,6 @@ class FlashCounters:
         self.oob_reads = 0
 
 
-@dataclass
-class _BlockState:
-    """Mutable per-block bookkeeping."""
-
-    erase_count: int = 0
-    valid_pages: int = 0
-    #: Next page offset to program (NAND requires in-order programming).
-    write_pointer: int = 0
-    #: Array-wide logical op-clock value of the last state change (program,
-    #: invalidate or erase touching this block).  Age-aware GC victim
-    #: policies (cost-benefit) read it through :meth:`FlashArray.block_age`.
-    last_modified_op: int = 0
-
-
 class FlashArray:
     """A multi-channel NAND flash array with per-channel time accounting."""
 
@@ -81,10 +91,33 @@ class FlashArray:
         total_pages = self._geometry.total_pages
         total_blocks = self._geometry.total_blocks
 
-        self._page_state: List[PageState] = [PageState.FREE] * total_pages
-        self._page_lpa: List[Optional[int]] = [None] * total_pages
+        self._state = bytearray(total_pages)  # all _FREE
+        self._lpa = array("q", [_NO_LPA]) * total_pages
         self._oob: Dict[int, OOBArea] = {}
-        self._blocks: List[_BlockState] = [_BlockState() for _ in range(total_blocks)]
+        # Per-block parallel counters (indexed by global block id).
+        self._erase_count: List[int] = [0] * total_blocks
+        self._valid_pages: List[int] = [0] * total_blocks
+        #: Next page offset to program (NAND requires in-order programming).
+        self._write_pointer: List[int] = [0] * total_blocks
+        #: Array-wide logical op-clock value of the last state change.
+        self._last_modified_op: List[int] = [0] * total_blocks
+
+        # Cached geometry scalars (block PPA ranges are contiguous).
+        self._pages_per_block = config.pages_per_block
+        self._pages_per_channel = config.pages_per_channel
+        self._blocks_per_channel = config.blocks_per_channel
+        self._dies_per_channel = config.dies_per_channel
+        # Erase resets a block's slice wholesale; programming a run marks
+        # its slice valid wholesale.
+        self._free_states = bytes(self._pages_per_block)
+        self._valid_states = bytes([_VALID]) * self._pages_per_block
+        self._free_lpas = array("q", [_NO_LPA]) * self._pages_per_block
+        # Zero-copy numpy view over the page-state bytes (the bytearray is
+        # never resized, so the view stays valid for the array's lifetime).
+        self._state_np = (
+            np.frombuffer(self._state, dtype=np.uint8) if HAVE_NUMPY else None
+        )
+
         self._scheduler = scheduler or NANDScheduler(
             config.channels, config.dies_per_channel
         )
@@ -106,18 +139,35 @@ class FlashArray:
         return self._config
 
     def page_state(self, ppa: int) -> PageState:
-        return self._page_state[ppa]
+        return _CODE_TO_STATE[self._state[ppa]]
+
+    def is_free(self, ppa: int) -> bool:
+        """Cheap FREE test for the hot read path (no enum construction)."""
+        return self._state[ppa] == _FREE
 
     def lpa_of(self, ppa: int) -> Optional[int]:
         """Reverse mapping stored in the page (None if FREE/never written)."""
-        return self._page_lpa[ppa]
+        lpa = self._lpa[ppa]
+        return None if lpa == _NO_LPA else lpa
 
     def oob_of(self, ppa: int) -> Optional[OOBArea]:
-        """The OOB contents of ``ppa`` (None if the page was never written)."""
-        return self._oob.get(ppa)
+        """The OOB contents of ``ppa`` (None if the page was never written).
+
+        Pages programmed through the gamma-0 run path have no stored entry:
+        their OOB is exactly ``OOBArea(lpa, [lpa])``, synthesized here from
+        the LPA array (which, like the OOB, survives invalidation and is
+        cleared by erase).
+        """
+        oob = self._oob.get(ppa)
+        if oob is not None:
+            return oob
+        lpa = self._lpa[ppa]
+        if lpa == _NO_LPA:
+            return None
+        return OOBArea(lpa=lpa, neighbor_lpas=[lpa])
 
     def erase_count(self, block: int) -> int:
-        return self._blocks[block].erase_count
+        return self._erase_count[block]
 
     def block_age(self, block: int) -> int:
         """Logical age: array-wide operations since the block last changed.
@@ -126,29 +176,30 @@ class FlashArray:
         operations holds cold data; cost-benefit GC weighs this age against
         the migration cost of the block's valid pages.
         """
-        return self._op_clock - self._blocks[block].last_modified_op
+        return self._op_clock - self._last_modified_op[block]
 
     def valid_page_count(self, block: int) -> int:
-        return self._blocks[block].valid_pages
+        return self._valid_pages[block]
 
     def write_pointer(self, block: int) -> int:
         """Next programmable page offset within ``block``."""
-        return self._blocks[block].write_pointer
+        return self._write_pointer[block]
 
     def block_is_full(self, block: int) -> bool:
-        return self._blocks[block].write_pointer >= self._geometry.pages_per_block
+        return self._write_pointer[block] >= self._pages_per_block
 
     def block_is_free(self, block: int) -> bool:
         """True when every page of the block is FREE (freshly erased)."""
-        return self._blocks[block].write_pointer == 0 and self._blocks[block].valid_pages == 0
+        return self._write_pointer[block] == 0 and self._valid_pages[block] == 0
 
     def valid_ppas_of_block(self, block: int) -> List[int]:
         """All VALID PPAs in ``block`` (ascending order)."""
-        return [
-            ppa
-            for ppa in self._geometry.ppas_of_block(block)
-            if self._page_state[ppa] is PageState.VALID
-        ]
+        start = block * self._pages_per_block
+        stop = start + self._pages_per_block
+        if self._state_np is not None:
+            return (np.flatnonzero(self._state_np[start:stop] == _VALID) + start).tolist()
+        block_states = self._state[start:stop]
+        return [start + offset for offset, code in enumerate(block_states) if code == _VALID]
 
     @property
     def scheduler(self) -> NANDScheduler:
@@ -171,7 +222,6 @@ class FlashArray:
         """
         return self._scheduler.reserve(channel, now_us, duration_us)
 
-
     # ------------------------------------------------------------------ #
     # Flash operations
     # ------------------------------------------------------------------ #
@@ -181,11 +231,43 @@ class FlashArray:
         Reading a FREE page is allowed by hardware but flagged here because
         it always indicates an FTL bug in the simulator.
         """
-        state = self._page_state[ppa]
-        if state is PageState.FREE:
+        if self._state[ppa] == _FREE:
             raise FlashError(f"read of unwritten page ppa={ppa}")
         self.counters.page_reads += 1
-        return self._reserve_read(ppa, now_us)
+        within = ppa % self._pages_per_channel
+        return self._scheduler.reserve(
+            ppa // self._pages_per_channel,
+            now_us,
+            self._config.read_latency_us,
+            die=(within // self._pages_per_block) % self._dies_per_channel,
+        )
+
+    def read_page_run(self, ppas: List[int], now_us: float = 0.0) -> float:
+        """Read several pages of ONE block back to back; returns last finish.
+
+        Equivalent to sequential :meth:`read_page` calls at the same
+        ``now_us`` (identical float timing chain).  All pages must lie in
+        the same block — the caller's contract — so they share a channel
+        and a die and the whole burst is one scheduler reservation.  This
+        is the GC migration read path: a victim's valid pages in one call.
+        """
+        if not ppas:
+            return now_us
+        state = self._state
+        for ppa in ppas:
+            if state[ppa] == _FREE:
+                raise FlashError(f"read of unwritten page ppa={ppa}")
+        count = len(ppas)
+        self.counters.page_reads += count
+        first = ppas[0]
+        within = first % self._pages_per_channel
+        return self._scheduler.reserve_run(
+            first // self._pages_per_channel,
+            now_us,
+            self._config.read_latency_us,
+            count,
+            die=(within // self._pages_per_block) % self._dies_per_channel,
+        )
 
     def read_oob(self, ppa: int, now_us: float = 0.0) -> float:
         """Read only the OOB of a page (modelled with full page-read latency).
@@ -194,18 +276,19 @@ class FlashArray:
         so the latency equals a page read; the separate counter lets the
         benchmarks attribute the cost to misprediction handling.
         """
-        if self._page_state[ppa] is PageState.FREE:
+        if self._state[ppa] == _FREE:
             raise FlashError(f"OOB read of unwritten page ppa={ppa}")
         self.counters.oob_reads += 1
         return self._reserve_read(ppa, now_us)
 
     def _reserve_read(self, ppa: int, now_us: float) -> float:
         """Schedule a page-sized read on ``ppa``'s channel and die."""
+        within = ppa % self._pages_per_channel
         return self._scheduler.reserve(
-            self._geometry.channel_of(ppa),
+            ppa // self._pages_per_channel,
             now_us,
             self._config.read_latency_us,
-            die=self._geometry.die_of(ppa),
+            die=(within // self._pages_per_block) % self._dies_per_channel,
         )
 
     def program_page(
@@ -222,72 +305,203 @@ class FlashArray:
         * the page must be FREE;
         * pages within a block must be programmed in ascending order.
         """
-        if self._page_state[ppa] is not PageState.FREE:
-            raise FlashError(f"program of non-free page ppa={ppa} ({self._page_state[ppa]})")
-        block = self._geometry.block_of(ppa)
-        offset = self._geometry.page_offset_of(ppa)
-        block_state = self._blocks[block]
-        if offset != block_state.write_pointer:
+        if self._state[ppa] != _FREE:
+            raise FlashError(
+                f"program of non-free page ppa={ppa} ({_CODE_TO_STATE[self._state[ppa]]})"
+            )
+        pages_per_block = self._pages_per_block
+        block = ppa // pages_per_block
+        offset = ppa - block * pages_per_block
+        if offset != self._write_pointer[block]:
             raise FlashError(
                 f"out-of-order program in block {block}: offset {offset}, "
-                f"expected {block_state.write_pointer}"
+                f"expected {self._write_pointer[block]}"
             )
 
-        self._page_state[ppa] = PageState.VALID
-        self._page_lpa[ppa] = lpa
+        self._state[ppa] = _VALID
+        self._lpa[ppa] = lpa
         self._oob[ppa] = oob if oob is not None else OOBArea(lpa=lpa)
-        block_state.valid_pages += 1
-        block_state.write_pointer += 1
+        self._valid_pages[block] += 1
+        self._write_pointer[block] = offset + 1
         self._op_clock += 1
-        block_state.last_modified_op = self._op_clock
+        self._last_modified_op[block] = self._op_clock
         self.counters.page_writes += 1
         # Programs proceed inside a die; the channel bus is only occupied for
         # the data transfer share, so concurrent programs on other dies
         # overlap.  The die itself stays busy for the full program time.
-        occupancy = self._config.write_latency_us / self._config.dies_per_channel
+        config = self._config
+        occupancy = config.write_latency_us / self._dies_per_channel
         return self._scheduler.reserve(
-            self._geometry.channel_of(ppa),
+            ppa // self._pages_per_channel,
             now_us,
             occupancy,
-            die=self._geometry.die_of(ppa),
-            cell_us=self._config.write_latency_us,
+            die=(block % self._blocks_per_channel) % self._dies_per_channel,
+            cell_us=config.write_latency_us,
+        )
+
+    def program_run(
+        self,
+        first_ppa: int,
+        lpas: List[int],
+        old_ppas: List[Optional[int]],
+        gamma: int,
+        batch_lpas: Dict[int, int],
+        now_us: float = 0.0,
+    ) -> float:
+        """Program a run of consecutive FREE pages of one block in one call.
+
+        Behaves exactly like the per-page sequence the write path used to
+        issue — for each run page, ``program_page`` with its OOB neighbour
+        window followed by ``invalidate_page`` of the LPA's old copy
+        (``old_ppas[i]``, ``None`` when the LPA had no live page) — with the
+        op-clock interleave, the OOB contents and the scheduler's float
+        timing chain preserved bit for bit.  ``batch_lpas`` maps the run's
+        own PPAs to their LPAs so neighbour windows can see pages of the
+        same batch regardless of programming order.  Returns the bus
+        completion time of the last program.
+        """
+        count = len(lpas)
+        if count == 0:
+            return now_us
+        pages_per_block = self._pages_per_block
+        block = first_ppa // pages_per_block
+        offset = first_ppa - block * pages_per_block
+        stop = first_ppa + count
+        state = self._state
+        if stop > (block + 1) * pages_per_block:
+            raise FlashError(
+                f"program run of {count} pages at ppa={first_ppa} crosses "
+                f"the boundary of block {block}"
+            )
+        if offset != self._write_pointer[block]:
+            raise FlashError(
+                f"out-of-order program in block {block}: offset {offset}, "
+                f"expected {self._write_pointer[block]}"
+            )
+        for ppa in range(first_ppa, stop):
+            if state[ppa] != _FREE:
+                raise FlashError(
+                    f"program of non-free page ppa={ppa} ({_CODE_TO_STATE[state[ppa]]})"
+                )
+
+        state[first_ppa:stop] = self._valid_states[:count]
+        self._lpa[first_ppa:stop] = array("q", lpas)
+        self._valid_pages[block] += count
+        self._write_pointer[block] = offset + count
+        self.counters.page_writes += count
+
+        valid_pages = self._valid_pages
+        last_modified = self._last_modified_op
+        op = self._op_clock
+        if gamma:
+            oob_store = self._oob
+            lpa_arr = self._lpa
+            total_pages = self._geometry.total_pages
+            batch_lpa = batch_lpas.get
+            for index in range(count):
+                ppa = first_ppa + index
+                lpa = lpas[index]
+                # The ±gamma neighbour window (see the write path's OOB
+                # contract): pages of the current batch take precedence
+                # (batch_lpas values are host LPAs, never None), then
+                # whatever flash holds.
+                neighbors: List[Optional[int]] = []
+                append = neighbors.append
+                for neighbor_ppa in range(ppa - gamma, ppa + gamma + 1):
+                    if neighbor_ppa == ppa:
+                        append(lpa)
+                        continue
+                    value = batch_lpa(neighbor_ppa)
+                    if value is None and 0 <= neighbor_ppa < total_pages:
+                        stored = lpa_arr[neighbor_ppa]
+                        if stored != _NO_LPA:
+                            value = stored
+                    append(value)
+                oob_store[ppa] = OOBArea(lpa=lpa, neighbor_lpas=neighbors)
+                op += 1
+                last_modified[block] = op
+                old_ppa = old_ppas[index]
+                if old_ppa is not None:
+                    if state[old_ppa] != _VALID:
+                        raise FlashError(
+                            f"invalidate of non-valid page ppa={old_ppa}"
+                        )
+                    state[old_ppa] = _INVALID
+                    old_block = old_ppa // pages_per_block
+                    valid_pages[old_block] -= 1
+                    op += 1
+                    last_modified[old_block] = op
+        else:
+            # gamma == 0: the OOB degenerates to ``OOBArea(lpa, [lpa])``,
+            # which :meth:`oob_of` synthesizes on demand from the LPA array
+            # (it persists until erase exactly like the stored OOB would),
+            # so the hot loop skips the per-page allocation and dict store.
+            for index in range(count):
+                op += 1
+                last_modified[block] = op
+                old_ppa = old_ppas[index]
+                if old_ppa is not None:
+                    if state[old_ppa] != _VALID:
+                        raise FlashError(
+                            f"invalidate of non-valid page ppa={old_ppa}"
+                        )
+                    state[old_ppa] = _INVALID
+                    old_block = old_ppa // pages_per_block
+                    valid_pages[old_block] -= 1
+                    op += 1
+                    last_modified[old_block] = op
+        self._op_clock = op
+
+        config = self._config
+        occupancy = config.write_latency_us / self._dies_per_channel
+        return self._scheduler.reserve_run(
+            first_ppa // self._pages_per_channel,
+            now_us,
+            occupancy,
+            count,
+            die=(block % self._blocks_per_channel) % self._dies_per_channel,
+            cell_us=config.write_latency_us,
         )
 
     def invalidate_page(self, ppa: int) -> None:
         """Mark a VALID page as INVALID (its LPA was overwritten or trimmed)."""
-        if self._page_state[ppa] is not PageState.VALID:
+        if self._state[ppa] != _VALID:
             raise FlashError(f"invalidate of non-valid page ppa={ppa}")
-        self._page_state[ppa] = PageState.INVALID
-        block = self._geometry.block_of(ppa)
-        self._blocks[block].valid_pages -= 1
+        self._state[ppa] = _INVALID
+        block = ppa // self._pages_per_block
+        self._valid_pages[block] -= 1
         self._op_clock += 1
-        self._blocks[block].last_modified_op = self._op_clock
+        self._last_modified_op[block] = self._op_clock
 
     def erase_block(self, block: int, now_us: float = 0.0) -> float:
         """Erase a whole block; all its pages become FREE again."""
-        remaining_valid = self._blocks[block].valid_pages
+        remaining_valid = self._valid_pages[block]
         if remaining_valid:
             raise FlashError(
                 f"erase of block {block} with {remaining_valid} valid pages; "
                 "GC must migrate valid pages first"
             )
-        for ppa in self._geometry.ppas_of_block(block):
-            self._page_state[ppa] = PageState.FREE
-            self._page_lpa[ppa] = None
-            self._oob.pop(ppa, None)
-        state = self._blocks[block]
-        state.erase_count += 1
-        state.write_pointer = 0
+        start = block * self._pages_per_block
+        stop = start + self._pages_per_block
+        self._state[start:stop] = self._free_states
+        self._lpa[start:stop] = self._free_lpas
+        oob = self._oob
+        if oob:
+            for ppa in range(start, stop):
+                oob.pop(ppa, None)
+        self._erase_count[block] += 1
+        self._write_pointer[block] = 0
         self._op_clock += 1
-        state.last_modified_op = self._op_clock
+        self._last_modified_op[block] = self._op_clock
         self.counters.block_erases += 1
-        occupancy = self._config.erase_latency_us / self._config.dies_per_channel
+        config = self._config
+        occupancy = config.erase_latency_us / self._dies_per_channel
         return self._scheduler.reserve(
-            self._geometry.block_to_channel(block),
+            block // self._blocks_per_channel,
             now_us,
             occupancy,
-            die=self._geometry.die_of_block(block),
-            cell_us=self._config.erase_latency_us,
+            die=(block % self._blocks_per_channel) % self._dies_per_channel,
+            cell_us=config.erase_latency_us,
         )
 
     # ------------------------------------------------------------------ #
@@ -295,8 +509,8 @@ class FlashArray:
     # ------------------------------------------------------------------ #
     def erase_counts(self) -> List[int]:
         """Erase counter of every block (for wear-leveling analysis)."""
-        return [b.erase_count for b in self._blocks]
+        return list(self._erase_count)
 
     def blocks_by_valid_pages(self, candidates: Iterable[int]) -> List[int]:
         """Sort candidate blocks by ascending valid-page count (greedy GC)."""
-        return sorted(candidates, key=lambda b: self._blocks[b].valid_pages)
+        return sorted(candidates, key=self._valid_pages.__getitem__)

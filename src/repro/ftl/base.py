@@ -47,7 +47,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class TranslationResult:
     """Outcome of a single LPA→PPA translation.
 

@@ -11,7 +11,7 @@ This package supplies the concurrency substrate of the SSD model:
 letting foreground reads genuinely overlap background flush and GC traffic.
 """
 
-from repro.sim.events import Event, EventLoop
+from repro.sim.events import Event, EventLoop, SimulationLimitError
 from repro.sim.frontend import (
     FrontendStats,
     HostFrontend,
@@ -23,6 +23,7 @@ from repro.sim.nand import NANDScheduler, TIMING_MODELS
 __all__ = [
     "Event",
     "EventLoop",
+    "SimulationLimitError",
     "FrontendStats",
     "HostFrontend",
     "OpenLoopFrontend",

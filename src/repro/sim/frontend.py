@@ -33,10 +33,18 @@ The device is duck-typed: anything with
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import Iterable, Iterator, List, Optional, Protocol, Tuple
 
 from repro.sim.events import Event, EventLoop, PRIORITY_FOREGROUND
 from repro.workloads.trace import IORequest, ReplayItem, as_request
+
+
+class SubmitTarget(Protocol):
+    """The duck-typed device contract: anything with this ``submit`` works."""
+
+    def submit(
+        self, op: str, lpa: int, npages: int = 1, at_us: Optional[float] = None
+    ) -> float: ...
 
 #: Legacy alias: one host request as a bare tuple.
 Request = Tuple[str, int, int]
@@ -56,7 +64,9 @@ class FrontendStats:
 class HostFrontend:
     """Admits trace requests into the device at a bounded queue depth."""
 
-    def __init__(self, device, loop: EventLoop, queue_depth: int = 1) -> None:
+    def __init__(
+        self, device: SubmitTarget, loop: EventLoop, queue_depth: int = 1
+    ) -> None:
         if queue_depth < 1:
             raise ValueError("queue_depth must be at least 1")
         self._device = device
@@ -144,7 +154,9 @@ class OpenLoopFrontend:
     :meth:`repro.workloads.trace.Trace.sorted_by_timestamp`.
     """
 
-    def __init__(self, device, loop: EventLoop, time_scale: float = 1.0) -> None:
+    def __init__(
+        self, device: SubmitTarget, loop: EventLoop, time_scale: float = 1.0
+    ) -> None:
         if time_scale <= 0.0:
             raise ValueError("time_scale must be positive")
         self._device = device

@@ -116,12 +116,12 @@ class NANDScheduler:
             ``bus_us``).  Under the ``"die"`` model the die also gates the
             start of the operation.
         """
-        start = max(at_us, self._bus_busy_until[channel])
-        if (
-            self.timing_model == "die"
-            and die is not None
-        ):
-            start = max(start, self._die_busy_until[channel][die])
+        busy = self._bus_busy_until[channel]
+        start = at_us if at_us > busy else busy
+        if die is not None and self.timing_model == "die":
+            die_busy = self._die_busy_until[channel][die]
+            if die_busy > start:
+                start = die_busy
         finish = start + bus_us
         self._bus_busy_until[channel] = finish
         self._bus_time_us[channel] += bus_us
@@ -130,3 +130,46 @@ class NANDScheduler:
             if occupied_until > self._die_busy_until[channel][die]:
                 self._die_busy_until[channel][die] = occupied_until
         return finish
+
+    def reserve_run(
+        self,
+        channel: int,
+        at_us: float,
+        bus_us: float,
+        count: int,
+        die: Optional[int] = None,
+        cell_us: Optional[float] = None,
+    ) -> float:
+        """``count`` back-to-back :meth:`reserve` calls with identical args.
+
+        Performs exactly the float operations of the equivalent call
+        sequence (the per-operation timing chain is digest-critical), so a
+        whole burst — a block's worth of programs, a victim's worth of GC
+        reads — costs one call instead of one per page.  Returns the bus
+        completion time of the *last* operation.
+        """
+        busy = self._bus_busy_until[channel]
+        bus_total = self._bus_time_us[channel]
+        die_model = self.timing_model == "die"
+        if die is None:
+            for _ in range(count):
+                start = at_us if at_us > busy else busy
+                busy = start + bus_us
+                bus_total += bus_us
+        else:
+            die_row = self._die_busy_until[channel]
+            die_busy = die_row[die]
+            cell = cell_us if cell_us is not None else bus_us
+            for _ in range(count):
+                start = at_us if at_us > busy else busy
+                if die_model and die_busy > start:
+                    start = die_busy
+                busy = start + bus_us
+                bus_total += bus_us
+                occupied_until = start + cell
+                if occupied_until > die_busy:
+                    die_busy = occupied_until
+            die_row[die] = die_busy
+        self._bus_busy_until[channel] = busy
+        self._bus_time_us[channel] = bus_total
+        return busy

@@ -93,20 +93,24 @@ class LRUDataCache:
 
     def insert(self, lpa: int, dirty: bool = False) -> List[Tuple[int, bool]]:
         """Insert (or refresh) ``lpa``; return the entries evicted to make room."""
-        if self._capacity == 0:
+        capacity = self._capacity
+        if capacity == 0:
             return []
-        evicted: List[Tuple[int, bool]] = []
-        if lpa in self._entries:
+        entries = self._entries
+        if lpa in entries:
             # Refresh; a dirty insert over a clean entry upgrades it.
-            self._entries[lpa] = self._entries[lpa] or dirty
-            self._entries.move_to_end(lpa)
-            return evicted
-        self._entries[lpa] = dirty
-        self.stats.insertions += 1
-        while len(self._entries) > self._capacity:
-            old_lpa, old_dirty = self._entries.popitem(last=False)
-            self.stats.evictions += 1
-            evicted.append((old_lpa, old_dirty))
+            if dirty and not entries[lpa]:
+                entries[lpa] = True
+            entries.move_to_end(lpa)
+            return []
+        entries[lpa] = dirty
+        stats = self.stats
+        stats.insertions += 1
+        evicted: List[Tuple[int, bool]] = []
+        while len(entries) > capacity:
+            old = entries.popitem(last=False)
+            stats.evictions += 1
+            evicted.append(old)
         return evicted
 
     def mark_clean(self, lpa: int) -> None:

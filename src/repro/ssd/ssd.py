@@ -74,7 +74,7 @@ hooks; ``SSDOptions.arbiter`` names the default arbitration policy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.config import DRAMBudget, SSDConfig
 from repro.flash.allocator import BlockAllocator
@@ -368,25 +368,32 @@ class SimulatedSSD:
         ``at_us`` is the issue time of the request (the event-driven engine
         passes it explicitly; the synchronous path uses the serial clock).
         """
-        self._check_lpa(lpa)
-        start = self._clock(at_us)
-        self.stats.host_writes += 1
-        self.stats.host_write_pages += 1
+        if not 0 <= lpa < self.config.logical_pages:
+            self._check_lpa(lpa)
+        start = self._now_us if at_us is None else at_us
+        stats = self.stats
+        stats.host_writes += 1
+        stats.host_write_pages += 1
 
         self.cache.insert(lpa, dirty=True)
-        self.write_buffer.add(lpa)
+        buffer = self.write_buffer
+        buffer.add(lpa)
 
         latency = self.config.dram_latency_us
-        if self.write_buffer.is_full:
+        if buffer.is_full:
             # Double-buffering backpressure: if the previous flush is still
             # draining to flash, this write waits for it.
             wait = max(0.0, self._prev_flush_finish_us - start)
             latency += wait
-            self._advance(start + latency)
-            self._flush_buffer(at_us=start + latency)
+            done = start + latency
+            if done > self._now_us:
+                self._now_us = done
+            self._flush_buffer(at_us=done)
         else:
-            self._advance(start + latency)
-        self.stats.write_latency.record(latency)
+            done = start + latency
+            if done > self._now_us:
+                self._now_us = done
+        stats.write_latency.record(latency)
         return latency
 
     def flush(self, at_us: Optional[float] = None) -> None:
@@ -446,55 +453,39 @@ class SimulatedSSD:
         mappings: List[Tuple[int, int]] = [
             (lpa, first_ppa + offset) for offset, lpa in enumerate(chunk)
         ]
-        gamma = self._ftl_oob_window()
         ppa_to_lpa = {ppa: lpa for lpa, ppa in mappings}
 
-        finish = at_us
-        for lpa, ppa in mappings:
-            oob = self._build_oob(lpa, ppa, gamma, ppa_to_lpa)
-            done = self.flash.program_page(ppa, lpa, oob, now_us=at_us)
-            finish = max(finish, done)
-            self._record_program(purpose)
-            old_ppa = self._current_ppa.get(lpa)
-            if old_ppa is not None:
-                self.flash.invalidate_page(old_ppa)
-            self._current_ppa[lpa] = ppa
-            if purpose == "host":
-                self.cache.mark_clean(lpa)
+        current_ppa = self._current_ppa
+        current_ppa_get = current_ppa.get
+        lpas = list(chunk)
+        old_ppas = [current_ppa_get(lpa) for lpa in lpas]
+        # One batched flash call programs the whole run: page-state updates,
+        # OOB windows, old-copy invalidation and the per-page scheduler
+        # timing chain all happen inside (bit-identical to per-page calls).
+        finish = self.flash.program_run(
+            first_ppa, lpas, old_ppas, self._ftl_oob_window(), ppa_to_lpa, at_us
+        )
+        current_ppa.update(mappings)
+        if purpose == "host":
+            mark_clean = self.cache.mark_clean
+            for lpa in lpas:
+                mark_clean(lpa)
+        self._record_programs(purpose, len(mappings))
         self.allocator.seal_if_full(block)
 
         self.ftl.update_batch(mappings)
         self._sync_translation_counters(at_us, foreground=False)
         return finish
 
-    def _record_program(self, purpose: str) -> None:
+    def _record_programs(self, purpose: str, pages: int) -> None:
         if purpose == "host":
-            self.stats.data_page_writes += 1
+            self.stats.data_page_writes += pages
         elif purpose == "gc":
-            self.stats.gc_page_writes += 1
+            self.stats.gc_page_writes += pages
         elif purpose == "wear":
-            self.stats.wl_page_moves += 1
+            self.stats.wl_page_moves += pages
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown program purpose {purpose!r}")
-
-    def _build_oob(
-        self, lpa: int, ppa: int, gamma: int, ppa_to_lpa: Dict[int, int]
-    ) -> OOBArea:
-        """OOB contents: own reverse mapping + the ±gamma neighbour window."""
-        if gamma == 0:
-            return OOBArea(lpa=lpa, neighbor_lpas=[lpa])
-        neighbors: List[Optional[int]] = []
-        for neighbor_ppa in range(ppa - gamma, ppa + gamma + 1):
-            if neighbor_ppa == ppa:
-                neighbors.append(lpa)
-            elif neighbor_ppa in ppa_to_lpa:
-                neighbors.append(ppa_to_lpa[neighbor_ppa])
-            else:
-                stored = None
-                if 0 <= neighbor_ppa < self.flash.geometry.total_pages:
-                    stored = self.flash.lpa_of(neighbor_ppa)
-                neighbors.append(stored)
-        return OOBArea(lpa=lpa, neighbor_lpas=neighbors)
 
     # ------------------------------------------------------------------ #
     # Host read path
@@ -505,21 +496,25 @@ class SimulatedSSD:
         ``at_us`` is the issue time of the request (the event-driven engine
         passes it explicitly; the synchronous path uses the serial clock).
         """
-        self._check_lpa(lpa)
-        start = self._clock(at_us)
-        self.stats.host_reads += 1
-        self.stats.host_read_pages += 1
+        if not 0 <= lpa < self.config.logical_pages:
+            self._check_lpa(lpa)
+        start = self._now_us if at_us is None else at_us
+        stats = self.stats
+        stats.host_reads += 1
+        stats.host_read_pages += 1
 
         if lpa in self.write_buffer:
-            self.stats.buffer_hits += 1
+            stats.buffer_hits += 1
             latency = self.config.dram_latency_us
         elif self.cache.lookup(lpa):
-            self.stats.cache_hits += 1
+            stats.cache_hits += 1
             latency = self.config.dram_latency_us
         else:
             latency = self._read_from_flash(lpa, start)
-        self._advance(start + latency)
-        self.stats.read_latency.record(latency)
+        done = start + latency
+        if done > self._now_us:
+            self._now_us = done
+        stats.read_latency.record(latency)
         return latency
 
     def _timed_host_read(self, ppa: int, clock: float) -> float:
@@ -562,7 +557,8 @@ class SimulatedSSD:
         of the error window, and mispredictions are corrected through the
         OOB reverse mapping at one extra flash read.
         """
-        if self.flash.page_state(ppa) is PageState.FREE:
+        flash = self.flash
+        if flash.is_free(ppa):
             # The learned model pointed past the programmed region of a block:
             # read the nearest programmed page of the error window instead and
             # correct from its OOB, which keeps the cost at two flash reads.
@@ -570,11 +566,11 @@ class SimulatedSSD:
             if fallback is None:
                 return self._fail_translation(lpa, ppa, clock)
             finish = self._timed_host_read(fallback, clock)
-            if self.flash.lpa_of(fallback) != lpa:
+            if flash.lpa_of(fallback) != lpa:
                 finish = self._correct_misprediction(lpa, ppa, fallback, finish)
             return finish
         finish = self._timed_host_read(ppa, clock)
-        if self.flash.lpa_of(ppa) != lpa:
+        if flash.lpa_of(ppa) != lpa:
             finish = self._correct_misprediction(lpa, ppa, ppa, finish)
         return finish
 
@@ -750,16 +746,20 @@ class SimulatedSSD:
         clock = self._clock(at_us)
         finish = clock
         lpas: List[int] = []
+        flash = self.flash
+        lpa_of = flash.lpa_of
+        append_lpa = lpas.append
         for block in blocks:
             if purpose == "gc":
                 self.stats.gc_victim_blocks += 1
-            for ppa in self.flash.valid_ppas_of_block(block):
-                self.flash.read_page(ppa, now_us=clock)
-                self.stats.gc_page_reads += 1
-                lpa = self.flash.lpa_of(ppa)
+            victims = flash.valid_ppas_of_block(block)
+            flash.read_page_run(victims, now_us=clock)
+            for ppa in victims:
+                lpa = lpa_of(ppa)
                 if lpa is None:  # pragma: no cover - defensive
                     raise SimulationError(f"valid page {ppa} without reverse mapping")
-                lpas.append(lpa)
+                append_lpa(lpa)
+            self.stats.gc_page_reads += len(victims)
         if lpas:
             # Section 3.6: migrated pages are sorted by LPA and relearned,
             # exactly like a regular buffer flush.
@@ -834,11 +834,13 @@ class SimulatedSSD:
         if lpa < 0:
             raise ValueError(f"LPA {lpa} must be non-negative")
         clock = self._clock(at_us)
-        end = min(lpa + npages, self.config.logical_pages)
-        if end - lpa < npages:
-            self.stats.clipped_pages += lpa + npages - max(end, lpa)
-        if end <= lpa:
-            return clock
+        end = lpa + npages
+        logical_pages = self.config.logical_pages
+        if end > logical_pages:
+            end = logical_pages
+            self.stats.clipped_pages += lpa + npages - (end if end > lpa else lpa)
+            if end <= lpa:
+                return clock
         if op == "W":
             for page in range(lpa, end):
                 clock += self.write(page, at_us=clock)
@@ -877,9 +879,13 @@ class SimulatedSSD:
                 continue
             latency = self.config.dram_latency_us
             self.stats.read_latency.record(latency)
-            finish = max(finish, start + latency)
+            done = start + latency
+            if done > finish:
+                finish = done
         for run in runs:
-            finish = max(finish, self._read_run_from_flash(run, start))
+            done = self._read_run_from_flash(run, start)
+            if done > finish:
+                finish = done
         self._advance(finish)
         return finish
 
@@ -901,19 +907,26 @@ class SimulatedSSD:
                 self.stats.unmapped_reads += 1
                 latency = max(clock - start, 0.0) + self.config.dram_latency_us
                 self.stats.read_latency.record(latency)
-                finish = max(finish, start + latency)
+                done = start + latency
+                if done > finish:
+                    finish = done
                 continue
             self.stats.translation_lookups += 1
             chunks.setdefault(self._channel_of_prediction(translation.ppa), []).append(
                 (page, translation.ppa)
             )
+        stats = self.stats
+        record_latency = stats.read_latency.record
+        insert = self.cache.insert
+        read_resolved = self._read_resolved_page
         for channel in sorted(chunks):
             for page, ppa in chunks[channel]:
-                page_finish = self._read_resolved_page(page, ppa, clock)
-                self.stats.flash_reads_for_host += 1
-                self.cache.insert(page, dirty=False)
-                self.stats.read_latency.record(page_finish - start)
-                finish = max(finish, page_finish)
+                page_finish = read_resolved(page, ppa, clock)
+                stats.flash_reads_for_host += 1
+                insert(page, dirty=False)
+                record_latency(page_finish - start)
+                if page_finish > finish:
+                    finish = page_finish
         return finish
 
     def _channel_of_prediction(self, ppa: int) -> int:
@@ -923,8 +936,13 @@ class SimulatedSSD:
         space by up to gamma pages; clamping keeps the chunk grouping
         valid — the actual read path corrects the prediction itself.
         """
-        total = self.flash.geometry.total_pages
-        return self.flash.geometry.channel_of(min(max(ppa, 0), total - 1))
+        geometry = self.flash.geometry
+        last = geometry.total_pages - 1
+        if ppa < 0:
+            ppa = 0
+        elif ppa > last:
+            ppa = last
+        return geometry.channel_of(ppa)
 
     def process(self, op: str, lpa: int, npages: int = 1) -> None:
         """Apply one host request (``op`` is 'R' or 'W') spanning ``npages``."""
@@ -979,7 +997,7 @@ class SimulatedSSD:
 
     def run_frontend(
         self,
-        frontend,
+        frontend: Any,  # duck-typed, see docstring; run() signatures differ
         loop: EventLoop,
         requests: Optional[Iterable[ReplayItem]] = None,
     ) -> None:

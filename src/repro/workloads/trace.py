@@ -31,7 +31,7 @@ def as_request(item: ReplayItem) -> "IORequest":
     return IORequest(op, lpa, npages)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IORequest:
     """One host request at flash-page granularity."""
 

@@ -164,13 +164,13 @@ class TestConfiguredGroupSize:
         # A perfectly linear run: the cone alone never closes, so only the
         # group-span cap can stop it.
         points = [(lpa, 1000 + lpa) for lpa in range(200)]
-        end = learner._extend_cone(points, 0)
+        end, _low, _high = learner._extend_cone(points, 0)
         assert points[end - 1][0] - points[0][0] <= 63
 
     def test_extend_cone_default_group_size_unchanged(self):
         learner = PLRLearner(gamma=0)
         points = [(lpa, 1000 + lpa) for lpa in range(300)]
-        end = learner._extend_cone(points, 0)
+        end, _low, _high = learner._extend_cone(points, 0)
         assert points[end - 1][0] - points[0][0] == GROUP_SIZE - 1
 
     def test_learning_with_group_size_64(self):
