@@ -1,0 +1,69 @@
+"""Power-fail recovery: recovery time and checkpoint WAF vs interval.
+
+Not a paper figure — the paper keeps recovery qualitative (Section 3.5:
+OOB reverse mappings make the learned table rebuildable) — but the cost
+model makes it measurable: a mid-write-burst crash, then either a full
+OOB scan or checkpoint+replay at several checkpoint intervals.  The JSON
+report (``--benchmark-json``) carries the whole frontier in
+``extra_info``: modeled recovery time and flash reads per strategy, and
+the checkpoint page writes each interval added to the device's WAF.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import print_report, render_series
+from repro.experiments.recovery import DEFAULT_INTERVALS, recovery_interval_sweep
+
+from benchmarks.conftest import run_once
+
+
+def test_recovery_time_vs_checkpoint_interval(benchmark):
+    outcomes = run_once(benchmark, recovery_interval_sweep, DEFAULT_INTERVALS)
+
+    series = {
+        name: {
+            "recovery ms": round(outcome.recovery_time_us / 1000.0, 2),
+            "flash reads": outcome.flash_reads,
+            "ckpt writes": outcome.checkpoint_page_writes,
+            "WAF": round(outcome.write_amplification, 3),
+        }
+        for name, outcome in outcomes.items()
+    }
+    print_report(
+        render_series(
+            "Power-fail recovery: full OOB scan vs checkpoint+replay", series
+        )
+    )
+    benchmark.extra_info["recovery"] = {
+        name: {
+            "mode": outcome.mode,
+            "interval_pages": outcome.interval_pages,
+            "recovery_time_us": outcome.recovery_time_us,
+            "flash_reads": outcome.flash_reads,
+            "checkpoint_pages_read": outcome.checkpoint_pages_read,
+            "replayed_pages": outcome.replayed_pages,
+            "checkpoints_taken": outcome.checkpoints_taken,
+            "checkpoint_page_writes": outcome.checkpoint_page_writes,
+            "write_amplification": outcome.write_amplification,
+        }
+        for name, outcome in outcomes.items()
+    }
+
+    scan = outcomes["oob_scan"]
+    assert scan.checkpoint_page_writes == 0
+    for interval in DEFAULT_INTERVALS:
+        ckpt = outcomes[f"interval={interval}"]
+        # Same durable contents recovered either way...
+        assert ckpt.recovered_lpas == scan.recovered_lpas
+        # ...with a bounded replay instead of a full scan.
+        assert ckpt.mode == "checkpoint_replay"
+        assert ckpt.flash_reads < scan.flash_reads
+        assert ckpt.recovery_time_us < scan.recovery_time_us
+        # The price shows up where it should: real checkpoint page writes.
+        assert ckpt.checkpoint_page_writes > 0
+    # Shorter intervals write more checkpoint pages.
+    writes = [
+        outcomes[f"interval={interval}"].checkpoint_page_writes
+        for interval in sorted(DEFAULT_INTERVALS)
+    ]
+    assert writes == sorted(writes, reverse=True)

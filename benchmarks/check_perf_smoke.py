@@ -20,6 +20,13 @@ Calibration notes, so the threshold is read honestly:
 
 Tighten ``--max-regression`` only after re-recording the baseline on
 the infrastructure that runs this check.
+
+The power-fail machinery (``repro.ssd.recovery``) is exercised by its
+own tests and determinism scenario, not here: with no crash timer
+attached and no checkpointer installed, the hooks on the replay hot
+path reduce to one ``is None`` check per buffer flush and a pre-existing
+per-event observer indirection, so a disabled recovery subsystem costs
+this gate nothing measurable.
 """
 
 from __future__ import annotations

@@ -162,6 +162,44 @@ class LeaFTL(FTL):
         return self.table.exists(lpa)
 
     # ------------------------------------------------------------------ #
+    # Power-fail recovery
+    # ------------------------------------------------------------------ #
+    def rebuild_from_oob(self, mappings: Sequence[Tuple[int, int]]) -> None:
+        """Relearn the whole table from an OOB scan of valid flash pages.
+
+        The old table is DRAM and died with the power; the scan's
+        ``(lpa, ppa)`` pairs are re-learned batch-by-batch exactly like the
+        original flushes were, producing a table that resolves every live
+        LPA (possibly through different segments than before the crash —
+        only translation *results* must match).  Charge-free by the
+        recovery contract: the driver accounts the scan reads.
+        """
+        self.table = LogStructuredMappingTable(self.config)
+        self._writes_since_compaction = 0
+        if mappings:
+            self.table.update(mappings)
+
+    def serialize_checkpoint(self) -> bytes:
+        """Lossless encoding of the learned table for a flash checkpoint."""
+        return self.table.serialize_checkpoint()
+
+    def restore_checkpoint(self, payload: bytes) -> None:
+        """Replace the table with the checkpointed one (bit-exact lookups)."""
+        self.table = LogStructuredMappingTable.from_checkpoint(payload, self.config)
+        self._writes_since_compaction = 0
+
+    def replay_mappings(self, mappings: Sequence[Tuple[int, int]]) -> None:
+        """Re-learn mappings programmed after the checkpoint was taken.
+
+        Replayed batches insert at level 0 and therefore shadow whatever
+        stale mappings the checkpoint still holds for those LPAs — the same
+        shadowing the live update path relies on.  Charge-free like
+        :meth:`rebuild_from_oob`.
+        """
+        if mappings:
+            self.table.update(mappings)
+
+    # ------------------------------------------------------------------ #
     # Memory accounting
     # ------------------------------------------------------------------ #
     def resident_bytes(self) -> int:

@@ -8,6 +8,12 @@ from repro.experiments.multi_tenant import (
     rate_limit_comparison,
     run_noisy_neighbor,
 )
+from repro.experiments.recovery import (
+    RecoveryOutcome,
+    RecoveryScenario,
+    recovery_interval_sweep,
+    run_crash_recovery,
+)
 from repro.experiments.common import (
     ALL_WORKLOADS,
     ExperimentResult,
@@ -32,6 +38,10 @@ __all__ = [
     "noisy_neighbor_sweep",
     "rate_limit_comparison",
     "run_noisy_neighbor",
+    "RecoveryOutcome",
+    "RecoveryScenario",
+    "recovery_interval_sweep",
+    "run_crash_recovery",
     "ALL_WORKLOADS",
     "ExperimentResult",
     "ExperimentSetup",

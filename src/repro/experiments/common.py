@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import DFTLConfig, DRAMBudget, LeaFTLConfig, SFTLConfig, SSDConfig
 from repro.core.leaftl import LeaFTL
+from repro.flash.oob import required_oob_bytes
 from repro.ftl.base import FTL
 from repro.ftl.dftl import DFTL
 from repro.ftl.pagemap import PageLevelFTL
@@ -61,6 +62,21 @@ def bench_scale(default: float = 1.0) -> float:
     return max(0.01, float(value))
 
 
+def oob_size_for_gamma(gamma: int) -> int:
+    """Smallest standard spare-area size (128, 256, ... bytes) fitting gamma.
+
+    The reverse-mapping window needs ``(2 * gamma + 1) * 4`` bytes, so the
+    common 128-byte spare covers gamma <= 15 and gamma = 16 (Figure 19's
+    largest sweep point) needs a 256-byte spare.  Gamma sweeps use this so
+    each point runs on the cheapest spare area that can actually hold its
+    OOB payload.
+    """
+    size = 128
+    while required_oob_bytes(gamma) > size:
+        size *= 2
+    return size
+
+
 @dataclass(frozen=True)
 class ExperimentSetup:
     """Device + policy configuration for one experiment run."""
@@ -80,6 +96,10 @@ class ExperimentSetup:
     dram_policy: str = "mapping_first"
     #: LeaFTL error bound.
     gamma: int = 0
+    #: Per-page spare (OOB) area in bytes.  The default 128-byte spare fits
+    #: the reverse-mapping window of gamma <= 15; gamma = 16 needs 132 bytes
+    #: and therefore a 256-byte spare (see repro.flash.oob.required_oob_bytes).
+    oob_size: int = 128
     #: Fraction of the logical space written once before measuring.
     warmup_fraction: float = 0.70
     #: Whether to run the warm-up phase at all.
@@ -129,6 +149,7 @@ class ExperimentSetup:
             channels=self.channels,
             dies_per_channel=self.dies_per_channel,
             dram_size=self.dram_bytes,
+            oob_size=self.oob_size,
             write_buffer_bytes=self.write_buffer_bytes,
             overprovisioning=self.overprovisioning,
             ncq_depth=max(32, self.queue_depth),

@@ -14,6 +14,7 @@ from repro.analysis.memory import geometric_mean, reduction_factor
 from repro.experiments.common import (
     ExperimentSetup,
     SIMULATOR_WORKLOADS,
+    oob_size_for_gamma,
     run_experiment,
     workload_for_setup,
 )
@@ -23,6 +24,7 @@ def memory_setup(gamma: int = 0, request_scale: float = 0.25) -> ExperimentSetup
     """A setup tailored to footprint measurements (no warm-up, no budget)."""
     return ExperimentSetup(
         gamma=gamma,
+        oob_size=oob_size_for_gamma(gamma),
         warmup=False,
         request_scale=request_scale,
         # A large DRAM so no scheme is budget-limited: we want the size each

@@ -19,6 +19,7 @@ from repro.experiments.common import (
     ExperimentSetup,
     SCHEMES,
     build_ssd,
+    oob_size_for_gamma,
     precondition,
     run_experiment,
     run_schemes,
@@ -37,6 +38,7 @@ def performance_setup(
     return ExperimentSetup(
         dram_policy=dram_policy,
         gamma=gamma,
+        oob_size=oob_size_for_gamma(gamma),
         dram_bytes=dram_bytes,
         request_scale=request_scale,
         **overrides,  # type: ignore[arg-type]
@@ -80,7 +82,9 @@ def gamma_performance(
     for workload in workloads:
         latencies: Dict[int, float] = {}
         for gamma in gammas:
-            run_setup = base_setup.scaled(gamma=gamma)
+            run_setup = base_setup.scaled(
+                gamma=gamma, oob_size=oob_size_for_gamma(gamma)
+            )
             result = run_experiment(workload, "LeaFTL", run_setup)
             latencies[gamma] = result.read_mean_latency_us
         baseline = latencies[gammas[0]] or 1.0
@@ -99,7 +103,11 @@ def misprediction_ratios(
     for workload in workloads:
         row: Dict[int, float] = {}
         for gamma in gammas:
-            result = run_experiment(workload, "LeaFTL", base_setup.scaled(gamma=gamma))
+            result = run_experiment(
+                workload,
+                "LeaFTL",
+                base_setup.scaled(gamma=gamma, oob_size=oob_size_for_gamma(gamma)),
+            )
             row[gamma] = 100.0 * result.misprediction_ratio
         table[workload] = row
     return table

@@ -1,0 +1,177 @@
+"""Crash-recovery experiment: recovery time and checkpoint cost vs interval.
+
+The paper stores LeaFTL's learned mapping in DRAM and relies on the durable
+OOB reverse mappings to survive power loss.  This experiment quantifies the
+trade the checkpointing design makes explicit:
+
+* a **full OOB scan** needs no checkpoints (zero write amplification
+  overhead) but reads every programmed page's spare area at recovery time;
+* **checkpoint + replay** pays periodic checkpoint page writes (visible in
+  the WAF) to bound the post-crash scan to the pages programmed since the
+  last image.
+
+Sweeping the checkpoint interval maps the frontier: short intervals buy
+fast recovery with a higher WAF, long intervals degrade toward the full
+scan.  The crash itself lands mid-write-burst via
+:class:`repro.ssd.recovery.CrashTimer`, so the measured state is a device
+caught with GC in flight — not a convenient idle one.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import DRAMBudget, LeaFTLConfig, SSDConfig
+from repro.core.leaftl import LeaFTL
+from repro.ssd.recovery import (
+    CrashTimer,
+    PowerFailure,
+    RecoveryResult,
+    attach_checkpointer,
+    recover,
+)
+from repro.ssd.ssd import SimulatedSSD, SSDOptions
+
+#: Checkpoint intervals (data pages between images) swept by the benchmark.
+DEFAULT_INTERVALS = (256, 1024, 4096)
+
+
+@dataclass(frozen=True)
+class RecoveryScenario:
+    """Workload + crash point for one recovery measurement."""
+
+    capacity_bytes: int = 24 * 1024 * 1024
+    overprovisioning: float = 0.10
+    gamma: int = 4
+    #: Overwrite-skewed requests after the sequential fill pass.
+    num_requests: int = 2200
+    #: Crash at the N-th host request issue (mid-write-burst).
+    crash_after_issues: int = 2600
+    queue_depth: int = 8
+    seed: int = 20
+
+    def ssd_config(self) -> SSDConfig:
+        return SSDConfig.tiny(
+            capacity_bytes=self.capacity_bytes,
+            overprovisioning=self.overprovisioning,
+        )
+
+
+@dataclass(frozen=True)
+class RecoveryOutcome:
+    """One crashed-and-recovered run, with the costs on both sides."""
+
+    #: ``oob_scan`` or ``checkpoint_replay``.
+    mode: str
+    #: Checkpoint interval in pages (``None`` for the scan baseline).
+    interval_pages: Optional[int]
+    recovery_time_us: float
+    flash_reads: int
+    checkpoint_pages_read: int
+    replayed_pages: int
+    recovered_lpas: int
+    checkpoints_taken: int
+    #: Checkpoint flash writes accumulated before the crash.
+    checkpoint_page_writes: int
+    #: Device WAF at the crash, inclusive of checkpoint writes.
+    write_amplification: float
+
+
+def crash_workload(scenario: RecoveryScenario) -> List[Tuple[str, int, int]]:
+    """Sequential fill then Zipf-skewed overwrites (keeps GC busy)."""
+    rng = random.Random(scenario.seed)
+    config = scenario.ssd_config()
+    footprint = int(config.logical_pages * 0.9)
+    requests: List[Tuple[str, int, int]] = []
+    for lpa in range(0, footprint - 8, 8):
+        requests.append(("W", lpa, 8))
+    for _ in range(scenario.num_requests):
+        span = rng.randint(1, 8)
+        lpa = int((rng.random() ** 4) * (footprint - span))
+        requests.append(("W", lpa, span))
+    return requests
+
+
+def run_crash_recovery(
+    scenario: RecoveryScenario,
+    interval_pages: Optional[int] = None,
+    mode: str = "oob_scan",
+) -> RecoveryOutcome:
+    """Run the workload, crash mid-burst, recover, and report the costs.
+
+    ``interval_pages`` enables checkpointing during the run (its writes are
+    charged to the WAF whether or not recovery then uses the image);
+    ``mode`` picks the recovery strategy.  The post-recovery state is
+    sanity-checked against the durability oracle before anything is
+    reported — a recovery that lost an acked page would fail loudly here,
+    not skew a figure quietly.
+    """
+    config = scenario.ssd_config()
+    ftl = LeaFTL(
+        LeaFTLConfig(gamma=scenario.gamma, compaction_interval_writes=20_000)
+    )
+    ssd = SimulatedSSD(
+        config,
+        ftl,
+        dram_budget=DRAMBudget(dram_bytes=config.dram_size),
+        options=SSDOptions(
+            queue_depth=scenario.queue_depth, gc_mode="background", engine="events"
+        ),
+    )
+    checkpointer = None
+    if interval_pages is not None:
+        checkpointer = attach_checkpointer(ssd, interval_pages=interval_pages)
+
+    timer = CrashTimer(
+        after_kind="request_issue", kind_count=scenario.crash_after_issues
+    )
+    ssd.event_observer = timer
+    requests = crash_workload(scenario)
+    try:
+        ssd.run(requests)
+    except PowerFailure:
+        pass
+    if not timer.fired:
+        raise RuntimeError(
+            "workload finished before the injected crash; raise num_requests "
+            "or lower crash_after_issues"
+        )
+    oracle = ssd.power_fail()
+    result: RecoveryResult = recover(ssd, mode=mode)
+    if ssd._current_ppa != oracle:
+        raise RuntimeError(f"{result.mode} recovery lost acked pages")
+    return RecoveryOutcome(
+        mode=result.mode,
+        interval_pages=interval_pages,
+        recovery_time_us=result.recovery_time_us,
+        flash_reads=result.flash_reads,
+        checkpoint_pages_read=result.checkpoint_pages_read,
+        replayed_pages=result.replayed_pages,
+        recovered_lpas=result.recovered_lpas,
+        checkpoints_taken=checkpointer.checkpoints_taken if checkpointer else 0,
+        checkpoint_page_writes=ssd.stats.checkpoint_page_writes,
+        write_amplification=ssd.stats.write_amplification,
+    )
+
+
+def recovery_interval_sweep(
+    intervals: Sequence[int] = DEFAULT_INTERVALS,
+    scenario: Optional[RecoveryScenario] = None,
+) -> Dict[str, RecoveryOutcome]:
+    """Scan baseline plus checkpoint+replay at each interval.
+
+    Keys: ``"oob_scan"`` for the baseline (no checkpointing at all, so its
+    WAF is the checkpoint-free reference), ``"interval=N"`` per sweep
+    point.
+    """
+    scenario = scenario or RecoveryScenario()
+    outcomes: Dict[str, RecoveryOutcome] = {
+        "oob_scan": run_crash_recovery(scenario, mode="oob_scan")
+    }
+    for interval in intervals:
+        outcomes[f"interval={interval}"] = run_crash_recovery(
+            scenario, interval_pages=interval, mode="checkpoint_replay"
+        )
+    return outcomes

@@ -201,6 +201,32 @@ class BlockAllocator:
         self.stats.blocks_reclaimed += 1
 
     # ------------------------------------------------------------------ #
+    # Power-fail recovery
+    # ------------------------------------------------------------------ #
+    def rebuild_from_flash(self) -> None:
+        """Re-derive every pool from durable flash state after a power loss.
+
+        The free pool, the active set and the open stream blocks are all
+        DRAM state; after a crash only the flash substrate is trustworthy.
+        Erased blocks (write pointer 0, no valid pages) return to the free
+        pool in block order — the same deterministic insert history a fresh
+        allocator would build.  Every programmed block, including a block a
+        stream left partially filled, comes back *sealed*: NAND open-block
+        rules make appending to a partially programmed block after power
+        loss unsafe, so recovery writes start on fresh blocks and GC
+        reclaims the partial ones.
+        """
+        for pool in self._free_blocks:
+            pool.clear()
+        self._active_blocks.clear()
+        self._stream_blocks.clear()
+        self._next_channel = 0
+        for block in range(self._geometry.total_blocks):
+            if self._flash.block_is_free(block):
+                channel = self._geometry.block_to_channel(block)
+                self._free_blocks[channel][block] = None
+
+    # ------------------------------------------------------------------ #
     # Wear statistics
     # ------------------------------------------------------------------ #
     def wear_imbalance(self) -> float:

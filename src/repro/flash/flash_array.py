@@ -35,7 +35,7 @@ from __future__ import annotations
 import enum
 from array import array
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.compat import HAVE_NUMPY, np
 from repro.config import SSDConfig
@@ -200,6 +200,62 @@ class FlashArray:
             return (np.flatnonzero(self._state_np[start:stop] == _VALID) + start).tolist()
         block_states = self._state[start:stop]
         return [start + offset for offset, code in enumerate(block_states) if code == _VALID]
+
+    # ------------------------------------------------------------------ #
+    # Durable-state scan API (power-fail recovery)
+    # ------------------------------------------------------------------ #
+    def programmed_ppas_of_block(self, block: int) -> range:
+        """All PPAs of ``block`` that have been programmed since its erase.
+
+        Invalidation never frees a page, so the programmed region of a block
+        is exactly the pages below its write pointer — an O(1) durable fact a
+        recovery scan can enumerate without probing page states one by one.
+        Both VALID and INVALID pages are included (their OOB reverse
+        mappings survive until erase).
+        """
+        start = block * self._pages_per_block
+        return range(start, start + self._write_pointer[block])
+
+    def block_generations(self) -> List[Tuple[int, int]]:
+        """Per-block ``(erase_count, write_pointer)`` snapshot.
+
+        Both components are durable (they are properties of the flash
+        substrate itself), and together they order a block's history: a
+        changed erase count means the block was recycled since the snapshot,
+        while a grown write pointer under the same erase count means pages
+        were appended.  Checkpoint-based recovery diffs two snapshots to
+        find exactly the pages programmed since the checkpoint.
+        """
+        return list(zip(self._erase_count, self._write_pointer))
+
+    def read_oob_run(self, ppas: Iterable[int], now_us: float = 0.0) -> float:
+        """Read the OOB of several pages of ONE block; returns last finish.
+
+        The recovery scan's bulk primitive: like :meth:`read_oob`, each OOB
+        read costs a full page read (the spare area cannot be sensed without
+        activating the page), but the whole per-block burst is one scheduler
+        reservation.  Programmed-but-INVALID pages are readable — their
+        reverse mappings are exactly what a scan must see to distinguish
+        stale copies.
+        """
+        run = list(ppas)
+        if not run:
+            return now_us
+        state = self._state
+        for ppa in run:
+            if state[ppa] == _FREE:
+                raise FlashError(f"OOB read of unwritten page ppa={ppa}")
+        count = len(run)
+        self.counters.oob_reads += count
+        first = run[0]
+        within = first % self._pages_per_channel
+        return self._scheduler.reserve_run(
+            first // self._pages_per_channel,
+            now_us,
+            self._config.read_latency_us,
+            count,
+            die=(within // self._pages_per_block) % self._dies_per_channel,
+        )
 
     @property
     def scheduler(self) -> NANDScheduler:

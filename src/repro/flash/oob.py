@@ -42,10 +42,6 @@ class OOBArea:
     lpa: Optional[int] = None
     neighbor_lpas: List[Optional[int]] = field(default_factory=list)
 
-    def clear(self) -> None:
-        self.lpa = None
-        self.neighbor_lpas = []
-
 
 def max_neighbor_entries(oob_size: int) -> int:
     """How many reverse-mapping entries fit in an OOB area of ``oob_size``."""
@@ -56,10 +52,12 @@ def required_oob_bytes(gamma: int) -> int:
     """OOB bytes needed for the reverse-mapping window of ``gamma``.
 
     The page's own reverse mapping is always stored (4 bytes); the window
-    adds the ``2 * gamma`` neighbours.  With a 128-byte OOB this admits
-    ``gamma`` up to 16, matching the paper's sensitivity range.
+    adds the ``2 * gamma`` neighbours, so the total is
+    ``(2 * gamma + 1) * 4`` bytes.  With a 128-byte OOB this admits
+    ``gamma`` up to 15 (124 bytes); ``gamma = 16`` needs 132 bytes and
+    requires a 256-byte spare area.
     """
-    return max(LPA_ENTRY_BYTES, 2 * gamma * LPA_ENTRY_BYTES)
+    return (2 * gamma + 1) * LPA_ENTRY_BYTES
 
 
 def validate_gamma_fits_oob(gamma: int, oob_size: int) -> None:

@@ -170,6 +170,21 @@ class FTL(abc.ABC):
         """Number of live LPAs the FTL believes are mapped, if tracked."""
         return None
 
+    def rebuild_from_oob(self, mappings: Sequence[Tuple[int, int]]) -> None:
+        """Reconstruct the mapping table from an OOB reverse-mapping scan.
+
+        ``mappings`` holds the ``(lpa, ppa)`` pair of every VALID flash page
+        in PPA order — the ground truth a post-crash scan recovers from the
+        durable substrate.  Implementations must discard ALL in-DRAM mapping
+        state (a power failure already destroyed it) and rebuild from the
+        pairs alone, without charging translation counters: the recovery
+        driver accounts the scan's flash reads itself, and the rebuild is a
+        pure in-memory reconstruction.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support OOB-scan recovery"
+        )
+
     def describe(self) -> Dict[str, float]:
         """Implementation-specific metrics for reports (may be extended)."""
         return {

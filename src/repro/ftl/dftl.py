@@ -198,6 +198,19 @@ class DFTL(FTL):
         self._mark_clean(lpa)
         self._flash_table.pop(lpa, None)
 
+    def rebuild_from_oob(self, mappings: Sequence[Tuple[int, int]]) -> None:
+        """Rebuild the flash-resident table from an OOB scan.
+
+        The CMT and its dirty-tracking are DRAM casualties of the crash;
+        the rebuilt table starts fully flash-resident and clean (the scan
+        re-wrote the translation pages), so the first post-recovery lookups
+        repopulate the CMT through the ordinary demand-miss path.  The scan
+        driver charges the flash traffic; nothing is charged here.
+        """
+        self._cmt.clear()
+        self._dirty_by_tp.clear()
+        self._flash_table = dict(mappings)
+
     # ------------------------------------------------------------------ #
     # Memory accounting
     # ------------------------------------------------------------------ #

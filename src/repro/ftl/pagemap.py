@@ -67,3 +67,6 @@ class PageLevelFTL(FTL):
 
     def mapped_lpa_count(self) -> Optional[int]:
         return len(self._table)
+
+    def rebuild_from_oob(self, mappings: Sequence[Tuple[int, int]]) -> None:
+        self._table = dict(mappings)

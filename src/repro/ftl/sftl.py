@@ -246,6 +246,21 @@ class SFTL(FTL):
     def invalidate(self, lpa: int) -> None:
         self._remove_entry(lpa)
 
+    def rebuild_from_oob(self, mappings: Sequence[Tuple[int, int]]) -> None:
+        """Rebuild the condensed translation pages from an OOB scan.
+
+        All DRAM state (the cached-page LRU and its run accounting) is
+        dropped; the condensed pages are reconstructed entry by entry so the
+        incremental run counters come out exact.  Like the other rebuilds
+        this is charge-free — the recovery driver models the scan cost.
+        """
+        self._pages = {}
+        self._cached = OrderedDict()
+        self._cached_runs = 0
+        self._total_runs = 0
+        for lpa, ppa in mappings:
+            self._set_entry(lpa, ppa)
+
     # ------------------------------------------------------------------ #
     # Memory accounting
     # ------------------------------------------------------------------ #

@@ -170,6 +170,25 @@ class EventLoop:
                 del buckets[time_us]
         return None
 
+    def chain_observer(self, fn: Callable[[Event], None]) -> None:
+        """Attach ``fn`` as an observer without displacing the current one.
+
+        The determinism harness installs a digest observer and the
+        power-fail injector installs a crash timer; chaining lets both see
+        every event (existing observer first, then ``fn``) so crash points
+        land at identical event indices with or without digesting.
+        """
+        current = self.observer
+        if current is None:
+            self.observer = fn
+            return
+
+        def chained(event: Event, _first: Callable[[Event], None] = current) -> None:
+            _first(event)
+            fn(event)
+
+        self.observer = chained
+
     # ------------------------------------------------------------------ #
     # Scheduling
     # ------------------------------------------------------------------ #

@@ -242,6 +242,11 @@ class SimulatedSSD:
         #: digest here so open-loop, closed-loop and multi-queue replays
         #: are all covered by one hook.
         self.event_observer: Optional[Callable[[Event], None]] = None
+        #: Optional periodic mapping checkpointer
+        #: (:class:`repro.ssd.recovery.MappingCheckpointer`); duck-typed to
+        #: keep this module free of a circular import.  ``None`` (the
+        #: default) costs a single predicate per flush and nothing else.
+        self.checkpointer: Optional[Any] = None
 
     # ------------------------------------------------------------------ #
     # Small helpers
@@ -409,6 +414,8 @@ class SimulatedSSD:
         self.stats.buffer_flushes += 1
         finish = self._program_batch(lpas, purpose="host", at_us=clock)
         self._prev_flush_finish_us = max(self._prev_flush_finish_us, finish)
+        if self.checkpointer is not None:
+            self.checkpointer.note_programs(len(lpas), clock)
         self.stats.mapping_bytes_samples.append(self.ftl.resident_bytes())
         self.cache.resize(self._cache_capacity_pages())
         self._maybe_collect_garbage(at_us=clock)
@@ -558,8 +565,9 @@ class SimulatedSSD:
         OOB reverse mapping at one extra flash read.
         """
         flash = self.flash
-        if flash.is_free(ppa):
-            # The learned model pointed past the programmed region of a block:
+        if not 0 <= ppa < flash.geometry.total_pages or flash.is_free(ppa):
+            # The learned model pointed past the programmed region of a block
+            # (or, within gamma of the array edges, past the array itself):
             # read the nearest programmed page of the error window instead and
             # correct from its OOB, which keeps the cost at two flash reads.
             fallback = self._nearest_programmed_page(lpa, ppa)
@@ -604,7 +612,11 @@ class SimulatedSSD:
         if oob is not None and callable(resolver):
             correct_ppa = resolver(lpa, read_ppa, oob)
 
-        if correct_ppa is not None and self.flash.lpa_of(correct_ppa) == lpa:
+        if (
+            correct_ppa is not None
+            and 0 <= correct_ppa < self.flash.geometry.total_pages
+            and self.flash.lpa_of(correct_ppa) == lpa
+        ):
             finish = self.flash.read_page(correct_ppa, now_us=clock)
             self.stats.misprediction_extra_reads += 1
             return finish
@@ -799,13 +811,54 @@ class SimulatedSSD:
         if leveler is None or self._bg_gc.running or not leveler.due(self.flash):
             # While the background GC pipeline is mid-flight its victim must
             # not be stolen by a wear-leveling migration; wear evens out on
-            # the next quiet check instead.
+            # the next quiet check instead.  ``due()`` is pure, so a skipped
+            # check here does not consume the throttle window.
             return
         if not leveler.imbalanced(self.flash):
             return
+        # Only an actual leveling pass restarts the throttle window.
+        leveler.acknowledge(self.flash)
         clock = self._clock(at_us)
         for block in leveler.select_cold_blocks(self.flash, self.allocator):
             self._collect_block(block, purpose="wear", at_us=clock)
+
+    # ------------------------------------------------------------------ #
+    # Power failure
+    # ------------------------------------------------------------------ #
+    def power_fail(self, at_us: Optional[float] = None) -> Dict[int, int]:
+        """Simulate a sudden power loss: every DRAM structure is destroyed.
+
+        What dies: the write buffer (its unflushed pages were never durable
+        — counted in ``stats.buffered_pages_lost``), the data cache, the
+        FTL's in-DRAM mapping state (the FTL object survives as a Python
+        object but its tables are garbage until recovery rebuilds them),
+        the background-GC pipeline and the ground-truth validity map.  What
+        survives is exactly the flash substrate: page states, per-page LPA
+        back-references, stored OOB areas and erase counters.
+
+        Returns the durability **oracle**: the last-acked flash location of
+        every LPA at the instant of the crash.  Programs apply their state
+        atomically at issue, so flash is never torn — the oracle is simply
+        a copy of the validity map, and the differential recovery tests
+        assert every oracle LPA reads back after recovery.
+
+        Between ``power_fail()`` and :func:`repro.ssd.recovery.recover` the
+        device must not serve host I/O (behaviour is undefined, exactly as
+        on real hardware).
+        """
+        clock = self._clock(at_us)
+        self._advance(clock)
+        oracle = dict(self._current_ppa)
+        self.stats.power_failures += 1
+        self.stats.buffered_pages_lost += self.write_buffer.discard()
+        self.cache.clear()
+        self._current_ppa.clear()
+        self._bg_gc = BackgroundGCController(self, self.gc_policy)
+        self._in_gc = False
+        self._loop = None
+        if self.checkpointer is not None:
+            self.checkpointer.on_power_fail()
+        return oracle
 
     # ------------------------------------------------------------------ #
     # Trace replay

@@ -132,6 +132,21 @@ class SSDStats:
     wl_page_moves: int = 0
     translation_page_reads: int = 0
     translation_page_writes: int = 0
+    #: Pages programmed to persist mapping checkpoints (zero unless a
+    #: :class:`repro.ssd.recovery.MappingCheckpointer` is attached).  These
+    #: count toward :attr:`total_flash_page_writes`, so enabling periodic
+    #: checkpoints shows up in the write-amplification factor.
+    checkpoint_page_writes: int = 0
+
+    # Durability events (power-fail injection, :mod:`repro.ssd.recovery`).
+    #: Injected power failures survived by this device.
+    power_failures: int = 0
+    #: Buffered (unflushed, never host-durable) pages discarded at power
+    #: failure.  These writes were acknowledged from DRAM only; losing them
+    #: is within the crash contract, but the count makes the loss visible.
+    buffered_pages_lost: int = 0
+    #: Flash pages whose OOB was read by recovery scans.
+    oob_scan_reads: int = 0
 
     # Address translation behaviour.
     translation_lookups: int = 0
@@ -204,6 +219,7 @@ class SSDStats:
             + self.gc_page_writes
             + self.wl_page_moves
             + self.translation_page_writes
+            + self.checkpoint_page_writes
         )
 
     @property

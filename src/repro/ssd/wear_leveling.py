@@ -48,12 +48,19 @@ class WearLeveler:
         self._erases_at_last_check = 0
 
     def due(self, flash: FlashArray) -> bool:
-        """Throttle: only check after enough erases have happened."""
+        """Throttle predicate: enough erases since the last acknowledged check.
+
+        Pure — probing ``due()`` never consumes the throttle window, so a
+        caller that checks and then decides *not* to level (e.g. because the
+        wear is balanced) keeps asking on subsequent flushes.  Call
+        :meth:`acknowledge` when a leveling pass actually runs.
+        """
         erases = flash.counters.block_erases
-        if erases - self._erases_at_last_check < self.config.check_interval_erases:
-            return False
-        self._erases_at_last_check = erases
-        return True
+        return erases - self._erases_at_last_check >= self.config.check_interval_erases
+
+    def acknowledge(self, flash: FlashArray) -> None:
+        """Restart the throttle window (a leveling pass is running now)."""
+        self._erases_at_last_check = flash.counters.block_erases
 
     def imbalanced(self, flash: FlashArray) -> bool:
         counts = flash.erase_counts()

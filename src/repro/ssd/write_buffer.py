@@ -25,6 +25,8 @@ class WriteBufferStats:
     overwrites: int = 0
     flushes: int = 0
     pages_flushed: int = 0
+    #: Buffered pages lost to power failure (never reached flash).
+    discarded: int = 0
 
 
 class WriteBuffer:
@@ -105,3 +107,15 @@ class WriteBuffer:
 
     def clear(self) -> None:
         self._pages.clear()
+
+    def discard(self) -> int:
+        """Drop all buffered pages (power failure); returns how many were lost.
+
+        The buffer is DRAM — a crash destroys it.  The count feeds the
+        device's ``buffered_pages_lost`` statistic so the crash contract
+        ("unflushed writes may be lost, never torn") stays observable.
+        """
+        lost = len(self._pages)
+        self._pages.clear()
+        self.stats.discarded += lost
+        return lost

@@ -141,6 +141,83 @@ def run_once(seed: int = 1234, scale: float = 1.0) -> RunReport:
     )
 
 
+def run_recovery_once(seed: int = 1234, scale: float = 1.0) -> RunReport:
+    """One crash-and-recover run of the recovery determinism scenario.
+
+    A small LeaFTL device under an overwrite-skewed burst with background
+    GC and periodic mapping checkpoints is power-failed mid-burst (the
+    crash timer chains behind the digest observer, so the crashing event
+    itself is digested before it raises), then recovered via checkpoint +
+    replay.  The event digest commits to the exact pre-crash interleaving;
+    the stats digest commits to the post-recovery device state, including
+    a full read-back of every acked LPA — so a nondeterministic recovery
+    path (an unordered scan, an unstable replay order) shows up as a
+    digest mismatch exactly like a nondeterministic scheduler would.
+    """
+    from repro.config import DRAMBudget, LeaFTLConfig, SSDConfig
+    from repro.core.leaftl import LeaFTL
+    from repro.ssd.recovery import (
+        CrashTimer,
+        PowerFailure,
+        attach_checkpointer,
+        recover,
+    )
+    from repro.ssd.ssd import SimulatedSSD, SSDOptions
+    import random
+
+    config = SSDConfig.tiny(
+        capacity_bytes=24 * 1024 * 1024, overprovisioning=0.10
+    )
+    ssd = SimulatedSSD(
+        config,
+        LeaFTL(LeaFTLConfig(gamma=4, compaction_interval_writes=20_000)),
+        dram_budget=DRAMBudget(dram_bytes=config.dram_size),
+        options=SSDOptions(queue_depth=8, gc_mode="background", engine="events"),
+    )
+    attach_checkpointer(ssd, interval_pages=512)
+
+    rng = random.Random(seed)
+    footprint = int(config.logical_pages * 0.9)
+    requests = [("W", lpa, 8) for lpa in range(0, footprint - 8, 8)]
+    for _ in range(max(64, int(2200 * scale))):
+        span = rng.randint(1, 8)
+        lpa = int((rng.random() ** 4) * (footprint - span))
+        requests.append(("W", lpa, span))
+
+    trace = EventTraceDigest()
+    timer = CrashTimer(
+        after_kind="request_issue",
+        kind_count=max(32, min(len(requests) - 64, 2600)),
+    )
+
+    def observer(event: Event) -> None:
+        trace.observe(event)
+        timer(event)
+
+    ssd.event_observer = observer
+    try:
+        ssd.run(requests)
+    except PowerFailure:
+        pass
+    if not timer.fired:
+        raise RuntimeError("recovery scenario finished before the injected crash")
+    oracle = ssd.power_fail()
+    recover(ssd, mode="checkpoint_replay")
+    if ssd._current_ppa != oracle:
+        raise RuntimeError("recovery lost acked pages")
+    # Read back every acked LPA: folds the whole recovered translation
+    # path (table, cache, OOB corrections) into the stats digest.
+    for lpa in sorted(oracle):
+        ssd.read(lpa)
+    summary = ssd.stats.summary()
+    return RunReport(
+        event_digest=trace.hexdigest(),
+        events_observed=trace.events_observed,
+        stats_digest=stats_digest(summary),
+        summary=summary,
+    )
+
+
 @dataclass(frozen=True)
 class VerifyResult:
     """Outcome of an N-run comparison."""
@@ -153,11 +230,22 @@ class VerifyResult:
         return self.reports[0]
 
 
-def verify(seed: int = 1234, scale: float = 1.0, runs: int = 2) -> VerifyResult:
-    """Run the scenario ``runs`` times and compare every report."""
+#: Scenario name -> single-run driver.  ``base`` is the multi-tenant WRR
+#: scenario; ``recovery`` crashes and recovers a LeaFTL device.
+SCENARIOS = {
+    "base": run_once,
+    "recovery": run_recovery_once,
+}
+
+
+def verify(
+    seed: int = 1234, scale: float = 1.0, runs: int = 2, scenario: str = "base"
+) -> VerifyResult:
+    """Run a scenario ``runs`` times and compare every report."""
     if runs < 2:
         raise ValueError("verification needs at least two runs to compare")
-    reports: List[RunReport] = [run_once(seed=seed, scale=scale) for _ in range(runs)]
+    driver = SCENARIOS[scenario]
+    reports: List[RunReport] = [driver(seed=seed, scale=scale) for _ in range(runs)]
     identical = all(report.matches(reports[0]) for report in reports[1:])
     return VerifyResult(identical=identical, reports=tuple(reports))
 
@@ -183,32 +271,50 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--json", action="store_true", help="emit the reports as JSON"
     )
+    parser.add_argument(
+        "--scenario",
+        choices=sorted(SCENARIOS) + ["all"],
+        default="all",
+        help="which determinism scenario(s) to run (default: all)",
+    )
     args = parser.parse_args(argv)
 
-    result = verify(seed=args.seed, scale=args.scale, runs=args.runs)
+    names = sorted(SCENARIOS) if args.scenario == "all" else [args.scenario]
+    results = {
+        name: verify(seed=args.seed, scale=args.scale, runs=args.runs, scenario=name)
+        for name in names
+    }
+    all_identical = all(result.identical for result in results.values())
     if args.json:
         payload = {
-            "identical": result.identical,
-            "runs": [
-                {
-                    "event_digest": report.event_digest,
-                    "events_observed": report.events_observed,
-                    "stats_digest": report.stats_digest,
+            "identical": all_identical,
+            "scenarios": {
+                name: {
+                    "identical": result.identical,
+                    "runs": [
+                        {
+                            "event_digest": report.event_digest,
+                            "events_observed": report.events_observed,
+                            "stats_digest": report.stats_digest,
+                        }
+                        for report in result.reports
+                    ],
                 }
-                for report in result.reports
-            ],
+                for name, result in results.items()
+            },
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
-        for index, report in enumerate(result.reports):
-            print(
-                f"run {index}: events={report.events_observed} "
-                f"trace={report.event_digest[:16]}… "
-                f"stats={report.stats_digest[:16]}…"
-            )
-        verdict = "identical" if result.identical else "MISMATCH"
-        print(f"verdict: {len(result.reports)} runs {verdict}")
-    return 0 if result.identical else 1
+        for name, result in results.items():
+            for index, report in enumerate(result.reports):
+                print(
+                    f"{name} run {index}: events={report.events_observed} "
+                    f"trace={report.event_digest[:16]}… "
+                    f"stats={report.stats_digest[:16]}…"
+                )
+            verdict = "identical" if result.identical else "MISMATCH"
+            print(f"{name}: {len(result.reports)} runs {verdict}")
+    return 0 if all_identical else 1
 
 
 if __name__ == "__main__":

@@ -6,8 +6,11 @@ import random
 
 import pytest
 
+from dataclasses import replace
+
 from repro.config import DRAMBudget, LeaFTLConfig, SSDConfig
 from repro.core.leaftl import LeaFTL
+from repro.flash.oob import required_oob_bytes
 from repro.ssd.ssd import SimulatedSSD
 
 
@@ -33,6 +36,12 @@ def make_ssd(
     config = config or SSDConfig.tiny()
     if ftl is None:
         ftl = LeaFTL(LeaFTLConfig(gamma=gamma, compaction_interval_writes=10_000))
+    # Provision a spare area large enough for the FTL's reverse-mapping
+    # window: the default 128-byte OOB holds gamma <= 15, so gamma = 16
+    # tests get the next standard spare size (256 bytes) automatically.
+    window = getattr(ftl, "oob_window", lambda: 0)()
+    while required_oob_bytes(window) > config.oob_size:
+        config = replace(config, oob_size=config.oob_size * 2)
     budget = DRAMBudget(dram_bytes=dram_bytes or config.dram_size)
     return SimulatedSSD(config=config, ftl=ftl, dram_budget=budget, **ssd_kwargs)
 

@@ -74,11 +74,22 @@ class TestCLI:
         assert result.returncode == 0, result.stdout + result.stderr
         payload = json.loads(result.stdout)
         assert payload["identical"] is True
-        assert len(payload["runs"]) == 2
-        digests = {run["event_digest"] for run in payload["runs"]}
-        assert len(digests) == 1
+        # Both scenarios run by default: the multi-tenant base run and the
+        # crash-and-recover run, each compared across two executions.
+        assert set(payload["scenarios"]) == {"base", "recovery"}
+        for scenario in payload["scenarios"].values():
+            assert scenario["identical"] is True
+            assert len(scenario["runs"]) == 2
+            digests = {run["event_digest"] for run in scenario["runs"]}
+            assert len(digests) == 1
 
     def test_text_verdict(self):
         result = self._run("--scale", "0.25")
         assert result.returncode == 0
         assert "identical" in result.stdout
+
+    def test_single_scenario_selection(self):
+        result = self._run("--scale", "0.25", "--scenario", "recovery", "--json")
+        assert result.returncode == 0, result.stdout + result.stderr
+        payload = json.loads(result.stdout)
+        assert set(payload["scenarios"]) == {"recovery"}

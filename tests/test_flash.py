@@ -165,15 +165,82 @@ class TestAllocator:
 
 class TestOOBHelpers:
     def test_required_bytes(self):
+        # The page's own reverse mapping (1 entry) plus 2*gamma neighbours.
         assert required_oob_bytes(0) == 4
-        assert required_oob_bytes(4) == 32
-        assert required_oob_bytes(16) == 128
+        assert required_oob_bytes(4) == 36
+        assert required_oob_bytes(15) == 124
+        assert required_oob_bytes(16) == 132
 
     def test_max_entries(self):
         assert max_neighbor_entries(128) == 32
 
     def test_gamma_must_fit(self):
         validate_gamma_fits_oob(4, 128)
-        validate_gamma_fits_oob(16, 128)
         with pytest.raises(ValueError):
             validate_gamma_fits_oob(16, 64)
+
+    def test_gamma_boundary_at_128_bytes(self):
+        # gamma=15 needs exactly 124 bytes and fits a 128-byte spare area;
+        # gamma=16 needs 132 bytes (33 entries) and requires 256 bytes.
+        validate_gamma_fits_oob(15, 128)
+        with pytest.raises(ValueError):
+            validate_gamma_fits_oob(16, 128)
+        validate_gamma_fits_oob(16, 256)
+
+
+class TestOOBParity:
+    """Lazy (gamma=0, synthesized) vs stored (gamma>0) OOB equivalence.
+
+    The recovery scan reads each programmed page's own reverse mapping
+    through ``oob_of()``; these tests pin that the synthesized and stored
+    representations agree on that field through the page lifecycle.
+    """
+
+    def _program_pattern(self, flash, gamma):
+        """Program a small overwrite-heavy pattern; returns lpa-by-ppa."""
+        lpas = [3, 7, 7, 1, 5, 3]
+        expected = {}
+        for ppa, lpa in enumerate(lpas):
+            old = None
+            for prev_ppa, prev_lpa in expected.items():
+                if prev_lpa == lpa and flash.page_state(prev_ppa) is PageState.VALID:
+                    old = prev_ppa
+            flash.program_run(ppa, [lpa], [old], gamma, {ppa: lpa}, 0.0)
+            expected[ppa] = lpa
+        return expected
+
+    @pytest.mark.parametrize("gamma", [0, 2])
+    def test_own_lpa_after_program(self, config, gamma):
+        flash = FlashArray(config)
+        expected = self._program_pattern(flash, gamma)
+        for ppa, lpa in expected.items():
+            oob = flash.oob_of(ppa)
+            assert oob is not None
+            assert oob.lpa == lpa
+
+    @pytest.mark.parametrize("gamma", [0, 2])
+    def test_own_lpa_survives_invalidate(self, config, gamma):
+        # Invalidation marks the page dead but keeps the reverse mapping —
+        # the recovery scan must still see who the page belonged to.
+        flash = FlashArray(config)
+        expected = self._program_pattern(flash, gamma)
+        for ppa in expected:
+            if flash.page_state(ppa) is PageState.VALID:
+                flash.invalidate_page(ppa)
+        for ppa, lpa in expected.items():
+            oob = flash.oob_of(ppa)
+            assert oob is not None
+            assert oob.lpa == lpa
+
+    @pytest.mark.parametrize("gamma", [0, 2])
+    def test_erase_clears_oob(self, config, gamma):
+        # Erase is the one OOB-invalidation story: stored areas are popped
+        # wholesale and the synthesized view returns None alike.
+        flash = FlashArray(config)
+        expected = self._program_pattern(flash, gamma)
+        for ppa in expected:
+            if flash.page_state(ppa) is PageState.VALID:
+                flash.invalidate_page(ppa)
+        flash.erase_block(0)
+        for ppa in expected:
+            assert flash.oob_of(ppa) is None

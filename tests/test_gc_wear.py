@@ -319,8 +319,11 @@ class TestWearLeveler:
         leveler = WearLeveler(WearLevelingConfig(check_interval_erases=4))
         assert not leveler.due(flash)
         flash.counters.block_erases = 10
+        # due() is a pure probe: it stays due until a pass is acknowledged.
         assert leveler.due(flash)
-        # Immediately after a check it is throttled again.
+        assert leveler.due(flash)
+        # Only an acknowledged leveling pass restarts the throttle window.
+        leveler.acknowledge(flash)
         assert not leveler.due(flash)
 
     def test_imbalance_detection(self, flash):

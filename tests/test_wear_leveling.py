@@ -1,0 +1,135 @@
+"""Unit tests for the wear-leveling policy (repro.ssd.wear_leveling).
+
+The module previously had no direct tests — its ``due()`` predicate
+mutated the throttle state on every probe, so a caller that checked wear
+and decided not to level silently pushed the next check a full interval
+out.  These tests pin the fixed contract: ``due()`` is a pure probe and
+only an explicit :meth:`WearLeveler.acknowledge` restarts the window.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SSDConfig
+from repro.flash.allocator import BlockAllocator
+from repro.flash.flash_array import FlashArray
+from repro.ssd.wear_leveling import WearLeveler, WearLevelingConfig
+
+
+@pytest.fixture
+def config():
+    return SSDConfig.tiny()
+
+
+@pytest.fixture
+def flash(config):
+    return FlashArray(config)
+
+
+def fill_block(flash: FlashArray, block: int, base_lpa: int) -> None:
+    """Program a whole block with distinct LPAs (no prior copies)."""
+    pages = flash.geometry.pages_per_block
+    first = block * pages
+    lpas = list(range(base_lpa, base_lpa + pages))
+    flash.program_run(first, lpas, [None] * pages, 0, {}, 0.0)
+
+
+def churn_block(flash: FlashArray, block: int, erases: int) -> None:
+    """Run program/invalidate/erase cycles to raise a block's erase count."""
+    pages = flash.geometry.pages_per_block
+    first = block * pages
+    for _ in range(erases):
+        lpas = list(range(pages))
+        flash.program_run(first, lpas, [None] * pages, 0, {}, 0.0)
+        for ppa in range(first, first + pages):
+            flash.invalidate_page(ppa)
+        flash.erase_block(block, now_us=0.0)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        WearLevelingConfig()
+
+    @pytest.mark.parametrize(
+        "field", ["imbalance_threshold", "check_interval_erases", "blocks_per_invocation"]
+    )
+    def test_rejects_non_positive(self, field):
+        with pytest.raises(ValueError):
+            WearLevelingConfig(**{field: 0})
+
+
+class TestDueThrottle:
+    def test_not_due_before_interval(self, flash):
+        leveler = WearLeveler(WearLevelingConfig(check_interval_erases=4))
+        churn_block(flash, 0, erases=3)
+        assert not leveler.due(flash)
+
+    def test_due_after_interval(self, flash):
+        leveler = WearLeveler(WearLevelingConfig(check_interval_erases=4))
+        churn_block(flash, 0, erases=4)
+        assert leveler.due(flash)
+
+    def test_due_is_pure(self, flash):
+        """Probing due() must not consume the throttle window (the old bug:
+        every probe reset the counter, so a balanced-wear check pushed the
+        next one a full interval out)."""
+        leveler = WearLeveler(WearLevelingConfig(check_interval_erases=4))
+        churn_block(flash, 0, erases=4)
+        assert leveler.due(flash)
+        # Repeated probes with no acknowledge stay due — no state consumed.
+        assert leveler.due(flash)
+        assert leveler.due(flash)
+
+    def test_acknowledge_restarts_window(self, flash):
+        leveler = WearLeveler(WearLevelingConfig(check_interval_erases=4))
+        churn_block(flash, 0, erases=4)
+        assert leveler.due(flash)
+        leveler.acknowledge(flash)
+        assert not leveler.due(flash)
+        churn_block(flash, 1, erases=4)
+        assert leveler.due(flash)
+
+
+class TestImbalance:
+    def test_fresh_array_balanced(self, flash):
+        leveler = WearLeveler(WearLevelingConfig(imbalance_threshold=2))
+        assert not leveler.imbalanced(flash)
+
+    def test_spread_over_threshold_triggers(self, flash):
+        leveler = WearLeveler(WearLevelingConfig(imbalance_threshold=2))
+        churn_block(flash, 0, erases=2)
+        assert not leveler.imbalanced(flash)  # spread == threshold: not yet
+        churn_block(flash, 0, erases=1)
+        assert leveler.imbalanced(flash)
+
+
+class TestColdBlockSelection:
+    def test_prefers_least_erased_then_most_valid(self, flash):
+        allocator = BlockAllocator(flash)
+        # Three sealed blocks with valid data; block 2 is the most worn.
+        for block in range(3):
+            allocator.allocate_block(channel=flash.geometry.block_to_channel(block))
+        churn_block(flash, 2, erases=5)
+        for block in range(3):
+            fill_block(flash, block, base_lpa=block * 1000)
+            allocator.seal_block(block)
+        # Drain one page from block 1: equal wear to block 0, fewer valid.
+        flash.invalidate_page(block_first_ppa(flash, 1))
+        leveler = WearLeveler(WearLevelingConfig(blocks_per_invocation=2))
+        cold = leveler.select_cold_blocks(flash, allocator)
+        assert cold == [0, 1]
+
+    def test_skips_blocks_without_valid_data(self, flash):
+        allocator = BlockAllocator(flash)
+        allocator.allocate_block(channel=flash.geometry.block_to_channel(0))
+        fill_block(flash, 0, base_lpa=0)
+        allocator.seal_block(0)
+        for ppa in flash.programmed_ppas_of_block(0):
+            flash.invalidate_page(ppa)
+        leveler = WearLeveler()
+        assert leveler.select_cold_blocks(flash, allocator) == []
+
+
+def block_first_ppa(flash: FlashArray, block: int) -> int:
+    return block * flash.geometry.pages_per_block
