@@ -80,18 +80,28 @@ def _aged_device(scale: float, **overrides: object) -> Tuple[SimulatedSSD, list]
 
 
 def _measure(run: Callable[[], SimulatedSSD]) -> Dict[str, float]:
-    """Time one replay; returns wall-clock throughput metrics."""
+    """Time one replay; returns wall-clock throughput metrics.
+
+    Work counts come from the counter registry (one namespaced snapshot
+    of every stats object) rather than hand-picked fields, so the
+    denominator set stays in sync with whatever the simulator counts.
+    """
+    from repro.obs.registry import device_snapshot
+
     started = time.perf_counter()
     ssd = run()
     elapsed = max(time.perf_counter() - started, 1e-9)
-    stats = ssd.stats
+    counters = device_snapshot(ssd)
+    requests = counters["ssd.requests_completed"]
+    events = counters["ssd.events_processed"]
+    pages = counters["ssd.host_reads"] + counters["ssd.host_writes"]
     return {
         "wall_seconds": round(elapsed, 4),
-        "requests": float(stats.requests_completed),
-        "events": float(stats.events_processed),
-        "ios_per_sec": round(stats.requests_completed / elapsed, 1),
-        "events_per_sec": round(stats.events_processed / elapsed, 1),
-        "pages_per_sec": round((stats.host_reads + stats.host_writes) / elapsed, 1),
+        "requests": requests,
+        "events": events,
+        "ios_per_sec": round(requests / elapsed, 1),
+        "events_per_sec": round(events / elapsed, 1),
+        "pages_per_sec": round(pages / elapsed, 1),
     }
 
 

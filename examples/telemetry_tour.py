@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Guided tour of the device telemetry layer (``repro.obs``).
+
+Run with::
+
+    PYTHONPATH=src python examples/telemetry_tour.py [--out telemetry/]
+
+A simulator answers "how much" with its end-of-run counters; telemetry
+answers "when" and "where".  This example runs the GC-contended
+two-tenant verify scenario with all three collectors enabled and walks
+through what each one saw:
+
+* **Tracer** — per-request lifecycle spans, NAND bus occupations and
+  the GC pipeline, exported as Chrome trace-event JSON.  Open the
+  written ``trace.json`` at https://ui.perfetto.dev to scrub through
+  the run on the simulated-microsecond clock.
+* **MetricsSampler** — gauge time-series on a fixed sim-time interval;
+  the free-block dip and channel-busy spike of a GC burst line up with
+  the latency spike the tenants observed.
+* **Counter registry** — every ``*Stats`` dataclass flattened into one
+  namespaced snapshot with a delta API; the tour prints the counters
+  that moved during the measured phase.
+
+Everything here is observational: running this with telemetry on
+produces bit-identical ``repro.verify`` digests to a plain run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+
+from repro.experiments.multi_tenant import (
+    build_tenant_host,
+    reader_tenant,
+    writer_tenant,
+)
+from repro.obs import attach_telemetry, device_snapshot
+from repro.verify import VERIFY_ARBITER, verify_scenario
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default="telemetry",
+        help="directory for trace/metrics/counters artifacts (default telemetry/)",
+    )
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument("--seed", type=int, default=1234)
+    args = parser.parse_args()
+
+    scenario = verify_scenario(seed=args.seed, scale=args.scale)
+    ssd, host = build_tenant_host(scenario, VERIFY_ARBITER)
+    telemetry = attach_telemetry(ssd, "on", host=host)
+    before = device_snapshot(ssd, host=host)
+
+    print("== Running the GC-contended two-tenant scenario (telemetry on) ==")
+    host.run([reader_tenant(scenario), writer_tenant(scenario)])
+
+    tracer = telemetry.tracer
+    print(f"\n== Tracer: {tracer.recorded} records "
+          f"({tracer.dropped} dropped by the ring buffer) ==")
+    requests = []
+    open_spans = {}
+    for event in tracer.trace_events():
+        if event["ph"] == "B" and event["name"] in ("R", "W"):
+            open_spans[event["tid"]] = event
+        elif event["ph"] == "E" and event["tid"] in open_spans:
+            begin = open_spans.pop(event["tid"])
+            requests.append((event["ts"] - begin["ts"], begin))
+    for duration, begin in sorted(requests, reverse=True, key=lambda r: r[0])[:3]:
+        print(f"  longest {begin['name']} request: {duration:.0f} us "
+              f"at t={begin['ts']:.0f} us ({begin['args']})")
+
+    sampler = telemetry.sampler
+    print(f"\n== MetricsSampler: {sampler.samples} samples every "
+          f"{sampler.interval_us:.0f} sim-us ==")
+    free = sampler.series("free_blocks")
+    busy = sampler.series("ch0_busy_frac")
+    print(f"  free blocks: start {free[0]:.0f}, min {min(free):.0f}, "
+          f"end {free[-1]:.0f}")
+    print(f"  ch0 busy fraction: peak {max(busy):.2f}")
+    print(f"  final sampled WAF {sampler.last('waf'):.3f} == "
+          f"scalar stats WAF {ssd.stats.write_amplification:.3f}")
+
+    after = device_snapshot(ssd, host=host)
+    moved = {
+        key: value for key, value in after.delta(before).as_dict().items()
+        if value != 0.0 and not key.endswith("_us")
+    }
+    print(f"\n== Counter registry: {len(moved)} counters moved ==")
+    for key in list(sorted(moved))[:12]:
+        print(f"  {key:40s} {moved[key]:+.0f}")
+    if len(moved) > 12:
+        print(f"  ... and {len(moved) - 12} more")
+
+    os.makedirs(args.out, exist_ok=True)
+    written = telemetry.write_artifacts(args.out)
+    print("\n== Artifacts ==")
+    for name, path in sorted(written.items()):
+        print(f"  {name:12s} {path}")
+    print("\nLoad the trace at https://ui.perfetto.dev — requests on "
+          "io-slot tracks, NAND ops on chN tracks, GC on the gc track.")
+
+
+if __name__ == "__main__":
+    main()

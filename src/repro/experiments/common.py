@@ -138,6 +138,11 @@ class ExperimentSetup:
     #: through the multi-queue host interface (``repro.host``): ``fifo``,
     #: ``round_robin``, ``weighted_round_robin`` or ``strict_priority``.
     arbiter: str = "round_robin"
+    #: Observability mode passed to ``SSDOptions.telemetry``: ``"off"``
+    #: (default), ``"trace"``, ``"metrics"`` or ``"on"``.  Collectors never
+    #: perturb scheduling, so results are identical either way; artifacts
+    #: are read from ``build_ssd(...).telemetry`` after the run.
+    telemetry: str = "off"
     #: Random seed of the warm-up pattern.
     seed: int = 7
 
@@ -220,6 +225,7 @@ def build_ssd(scheme: str, setup: ExperimentSetup) -> SimulatedSSD:
         time_scale=setup.time_scale,
         gc_mode=setup.gc_mode,
         arbiter=setup.arbiter,
+        telemetry=setup.telemetry,
     )
     return SimulatedSSD(
         config=config,

@@ -23,6 +23,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.experiments.common import ExperimentSetup, build_ssd, reset_measurement
 from repro.host.arbiter import ARBITERS, TokenBucket
+from repro.obs.registry import device_snapshot
 from repro.host.interface import HostInterface
 from repro.ssd.ssd import SimulatedSSD
 from repro.workloads.multi_tenant import (
@@ -192,12 +193,18 @@ def run_noisy_neighbor(
     (identically warmed-up) device — its p99 is the isolation yardstick.
     """
     scenario = scenario or NoisyNeighborScenario()
-    _, host = build_tenant_host(scenario, arbiter)
+    ssd, host = build_tenant_host(scenario, arbiter)
     tenants = [reader_tenant(scenario)]
     if include_writer:
         tenants.append(writer_tenant(scenario))
+    before = device_snapshot(ssd, host=host)
     result = host.run(tenants)
-    return result.summary()
+    table = result.summary()
+    # Registry delta over the measured phase: every device counter (GC
+    # traffic, WAF inputs, cache behaviour, ...) rides along generically
+    # instead of the old hand-picked summary() merging.
+    table["device"] = device_snapshot(ssd, host=host).delta(before).as_dict()
+    return table
 
 
 def noisy_neighbor_sweep(
@@ -240,7 +247,7 @@ def rate_limit_comparison(
     scenario = scenario or NoisyNeighborScenario()
     table: Dict[str, Dict[str, Dict[str, float]]] = {}
     for label, capped in (("uncapped", False), ("capped", True)):
-        _, host = build_tenant_host(scenario, arbiter)
+        ssd, host = build_tenant_host(scenario, arbiter)
         if capped:
             host.namespace("writer").limiters.append(
                 TokenBucket(
@@ -249,6 +256,9 @@ def rate_limit_comparison(
                     unit="pages",
                 )
             )
+        before = device_snapshot(ssd, host=host)
         result = host.run([reader_tenant(scenario), writer_tenant(scenario)])
-        table[label] = result.summary()
+        cell = result.summary()
+        cell["device"] = device_snapshot(ssd, host=host).delta(before).as_dict()
+        table[label] = cell
     return table

@@ -1,0 +1,51 @@
+"""Observability: sim-time tracing, metrics time-series, counter registry.
+
+Three always-available, zero-cost-when-disabled layers over the simulator:
+
+* :mod:`repro.obs.tracing` — :class:`Tracer` reconstructs per-request /
+  GC / NAND lifecycle spans from the event stream and exports Chrome
+  trace-event JSON (load in Perfetto or ``chrome://tracing``);
+* :mod:`repro.obs.metrics` — :class:`MetricsSampler` snapshots device
+  gauges on a simulated-time interval into a columnar series (CSV/JSON);
+* :mod:`repro.obs.registry` — :func:`device_snapshot` walks every
+  registered ``*Stats`` dataclass into one flat namespaced
+  :class:`CounterSnapshot` with a delta API.
+
+Enable per run via ``SSDOptions(telemetry="on")`` /
+``ExperimentSetup(telemetry="on")`` or :func:`attach_telemetry`; run
+``python -m repro.obs run --scenario multi_tenant --out DIR`` for a
+ready-made traced scenario.  Observers never perturb scheduling:
+``repro.verify`` digests are identical with telemetry on or off.
+"""
+
+from repro.obs.metrics import DEFAULT_METRICS_INTERVAL_US, MetricsSampler
+from repro.obs.registry import (
+    CounterSnapshot,
+    EXCLUDED_FIELDS,
+    REGISTERED_STATS,
+    device_snapshot,
+    snapshot_stats,
+)
+from repro.obs.session import (
+    TELEMETRY_MODES,
+    Telemetry,
+    TelemetryConfig,
+    attach_telemetry,
+)
+from repro.obs.tracing import DEFAULT_TRACE_CAPACITY, Tracer
+
+__all__ = [
+    "CounterSnapshot",
+    "DEFAULT_METRICS_INTERVAL_US",
+    "DEFAULT_TRACE_CAPACITY",
+    "EXCLUDED_FIELDS",
+    "MetricsSampler",
+    "REGISTERED_STATS",
+    "TELEMETRY_MODES",
+    "Telemetry",
+    "TelemetryConfig",
+    "Tracer",
+    "attach_telemetry",
+    "device_snapshot",
+    "snapshot_stats",
+]

@@ -1,0 +1,263 @@
+"""``python -m repro.obs`` — run traced scenarios and sanity-check artifacts.
+
+Two subcommands:
+
+``run --scenario {multi_tenant,steady_state} --out DIR``
+    Runs a named, GC-contended scenario with telemetry fully enabled and
+    writes the artifacts into ``DIR``: ``trace.json`` (Chrome trace-event
+    JSON — load in Perfetto), ``metrics.csv`` / ``metrics.json`` (the
+    sampled gauge time-series) and ``counters.json`` (the final registry
+    snapshot).  The run cross-checks the sampled series against the final
+    scalar statistics before returning — the last sample's WAF and
+    free-block ratio must equal the end-of-run values.
+
+``check TRACE [--metrics CSV]``
+    Trace-schema sanity check used by CI: the file must be valid JSON
+    with non-decreasing timestamps and balanced, properly nested B/E
+    pairs per (pid, tid) track; the metrics CSV must have a header, at
+    least one row, and strictly increasing ``time_us``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.session import attach_telemetry
+
+#: Scenario registry of the ``run`` subcommand.
+SCENARIOS = ("multi_tenant", "steady_state")
+
+
+# --------------------------------------------------------------------------- #
+# Scenarios
+# --------------------------------------------------------------------------- #
+def run_multi_tenant(scale: float, seed: int) -> Tuple[Any, Any]:
+    """The verification scenario, instrumented: a Zipf reader and a bursty
+    sequential writer under WRR arbitration with background GC active.
+
+    Returns ``(ssd, telemetry)`` after the run completes.
+    """
+    from repro.experiments.multi_tenant import (
+        build_tenant_host,
+        reader_tenant,
+        writer_tenant,
+    )
+    from repro.verify import VERIFY_ARBITER, verify_scenario
+
+    scenario = verify_scenario(seed=seed, scale=scale)
+    ssd, host = build_tenant_host(scenario, VERIFY_ARBITER)
+    telemetry = attach_telemetry(ssd, "on", host=host)
+    host.run([reader_tenant(scenario), writer_tenant(scenario)])
+    return ssd, telemetry
+
+
+def run_steady_state(scale: float, seed: int) -> Tuple[Any, Any]:
+    """A single-tenant aged device replaying an overwrite-heavy Zipf mix
+    at queue depth 8 with background GC — the classic WAF/GC-interference
+    study, instrumented.
+    """
+    from repro.experiments.common import (
+        ExperimentSetup,
+        build_ssd,
+        precondition,
+        steady_state_workload,
+    )
+
+    setup = ExperimentSetup(
+        capacity_bytes=48 * 1024 * 1024,
+        channels=4,
+        dies_per_channel=4,
+        pages_per_block=64,
+        queue_depth=8,
+        gc_mode="background",
+        warmup=False,
+    )
+    ssd = build_ssd("LeaFTL", setup)
+    footprint = precondition(ssd, seed=seed)
+    telemetry = attach_telemetry(ssd, "on")
+    requests = steady_state_workload(
+        footprint, num_requests=max(64, int(4000 * scale)), seed=seed
+    )
+    ssd.run(requests)
+    return ssd, telemetry
+
+
+def _cross_check(ssd: Any, telemetry: Any) -> List[str]:
+    """The acceptance cross-check: last sampled gauges == final scalars."""
+    problems: List[str] = []
+    sampler = telemetry.sampler
+    if sampler is None or sampler.samples == 0:
+        return ["no metrics samples were taken"]
+    final_waf = ssd.stats.write_amplification
+    if sampler.last("waf") != final_waf:
+        problems.append(
+            f"last sampled waf {sampler.last('waf')!r} != final {final_waf!r}"
+        )
+    final_free = float(ssd.allocator.free_block_count())
+    if sampler.last("free_blocks") != final_free:
+        problems.append(
+            f"last sampled free_blocks {sampler.last('free_blocks')!r} "
+            f"!= final {final_free!r}"
+        )
+    final_writes = float(ssd.stats.total_flash_page_writes)
+    if sampler.last("total_flash_page_writes") != final_writes:
+        problems.append(
+            f"last sampled total_flash_page_writes "
+            f"{sampler.last('total_flash_page_writes')!r} != final {final_writes!r}"
+        )
+    return problems
+
+
+# --------------------------------------------------------------------------- #
+# Artifact checks
+# --------------------------------------------------------------------------- #
+def check_trace_events(events: List[Dict[str, Any]]) -> List[str]:
+    """Schema problems in a Chrome trace-event list (empty = clean)."""
+    problems: List[str] = []
+    last_ts: Optional[float] = None
+    stacks: Dict[Tuple[int, int], List[str]] = {}
+    for index, event in enumerate(events):
+        phase = event.get("ph")
+        if phase == "M":
+            continue
+        for key in ("name", "ts", "pid", "tid"):
+            if key not in event:
+                problems.append(f"event {index}: missing {key!r}")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            continue
+        if last_ts is not None and ts < last_ts:
+            problems.append(
+                f"event {index}: ts {ts!r} decreases (previous {last_ts!r})"
+            )
+        last_ts = float(ts)
+        track = (event.get("pid"), event.get("tid"))
+        if phase == "B":
+            stacks.setdefault(track, []).append(event.get("name", ""))
+        elif phase == "E":
+            stack = stacks.setdefault(track, [])
+            if not stack:
+                problems.append(f"event {index}: E with no open B on track {track}")
+            else:
+                opened = stack.pop()
+                if opened != event.get("name", ""):
+                    problems.append(
+                        f"event {index}: E {event.get('name')!r} closes B "
+                        f"{opened!r} on track {track}"
+                    )
+        elif phase == "X":
+            if not isinstance(event.get("dur"), (int, float)):
+                problems.append(f"event {index}: X without numeric dur")
+        elif phase == "i":
+            pass
+        else:
+            problems.append(f"event {index}: unknown phase {phase!r}")
+    for track, stack in sorted(stacks.items()):
+        if stack:
+            problems.append(f"track {track}: {len(stack)} unclosed B event(s)")
+    return problems
+
+
+def check_trace_file(path: str) -> List[str]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable or invalid JSON ({exc})"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{path}: no traceEvents list"]
+    if not events:
+        return [f"{path}: empty trace"]
+    return [f"{path}: {problem}" for problem in check_trace_events(events)]
+
+
+def check_metrics_file(path: str) -> List[str]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as exc:
+        return [f"{path}: unreadable ({exc})"]
+    if not lines:
+        return [f"{path}: empty file"]
+    header = lines[0].split(",")
+    if "time_us" not in header:
+        return [f"{path}: header has no time_us column"]
+    if len(lines) < 2:
+        return [f"{path}: no sample rows"]
+    problems: List[str] = []
+    time_index = header.index("time_us")
+    previous: Optional[float] = None
+    for row_number, line in enumerate(lines[1:], start=2):
+        cells = line.split(",")
+        if len(cells) != len(header):
+            problems.append(
+                f"{path}: row {row_number} has {len(cells)} cells, "
+                f"header has {len(header)}"
+            )
+            continue
+        value = float(cells[time_index])
+        if previous is not None and value <= previous:
+            problems.append(
+                f"{path}: row {row_number} time_us {value!r} does not increase"
+            )
+        previous = value
+    return problems
+
+
+# --------------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------------- #
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Run traced scenarios and sanity-check telemetry artifacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run a scenario with telemetry on")
+    run_parser.add_argument("--scenario", choices=SCENARIOS, default="multi_tenant")
+    run_parser.add_argument("--out", required=True, help="artifact directory")
+    run_parser.add_argument("--scale", type=float, default=1.0)
+    run_parser.add_argument("--seed", type=int, default=1234)
+
+    check_parser = sub.add_parser("check", help="sanity-check emitted artifacts")
+    check_parser.add_argument("trace", help="path to a Chrome trace JSON")
+    check_parser.add_argument("--metrics", help="path to a metrics CSV")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "run":
+        driver = run_multi_tenant if args.scenario == "multi_tenant" else run_steady_state
+        ssd, telemetry = driver(scale=args.scale, seed=args.seed)
+        problems = _cross_check(ssd, telemetry)
+        written = telemetry.write_artifacts(args.out)
+        for name, path in sorted(written.items()):
+            print(f"{name}: {path}")
+        tracer = telemetry.tracer
+        sampler = telemetry.sampler
+        print(
+            f"trace records={tracer.recorded} dropped={tracer.dropped} "
+            f"samples={sampler.samples}"
+        )
+        for problem in problems:
+            print(f"CROSS-CHECK FAILED: {problem}", file=sys.stderr)
+        return 1 if problems else 0
+
+    problems = check_trace_file(args.trace)
+    if args.metrics:
+        problems.extend(check_metrics_file(args.metrics))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        print(f"{args.trace}: trace schema ok")
+        if args.metrics:
+            print(f"{args.metrics}: metrics schema ok")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,204 @@
+"""The unified counter registry: every ``*Stats`` counter, one namespace.
+
+The simulator's statistics live in nine dataclasses scattered across the
+package (:class:`~repro.ssd.stats.SSDStats`, the per-FTL stats, cache /
+write-buffer / allocator counters, per-frontend and per-namespace stats).
+Before this module, every consumer — the experiment harness, the perf
+trajectory recorder, ad-hoc report code — hand-picked fields and merged
+``summary()`` dictionaries, so newly added counters routinely missed every
+export (``checkpoint_page_writes`` shipped a whole PR before any report
+showed it).
+
+The registry walks the stats objects generically instead:
+
+* every ``int``/``float`` dataclass field is exported as
+  ``<prefix>.<field>`` (e.g. ``ssd.gc_page_writes``);
+* every numeric ``@property`` is exported the same way (derived metrics
+  like ``ssd.write_amplification`` come along for free);
+* :class:`~repro.ssd.stats.LatencyRecorder` fields expand into
+  ``.count`` / ``.mean_us`` / ``.p50_us`` / ``.p95_us`` / ``.p99_us`` /
+  ``.max_us``;
+* any other field type must appear in :data:`EXCLUDED_FIELDS` with a
+  reason, or the walk raises ``TypeError``.
+
+The static-analysis side of the same contract is simlint rule **SIM007**,
+which parses :data:`REGISTERED_STATS` / :data:`EXCLUDED_FIELDS` out of this
+file and flags any ``*Stats`` dataclass (or field) the registry cannot
+reach — so a counter added anywhere in the package is export-visible or a
+lint failure, never silently missing.
+
+Both tables below are **pure literals**: SIM007 reads them with ``ast``,
+so computed keys would be invisible to the lint gate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+import json
+from typing import Any, Dict, Mapping, Optional
+
+from repro.ssd.stats import LatencyRecorder
+
+#: ``*Stats`` dataclass name -> counter-namespace prefix.  Every stats
+#: dataclass in ``src/repro`` must appear here (enforced by SIM007).
+#: ``NamespaceStats`` instances are per-tenant, so their prefix is extended
+#: with the namespace name: ``ns.<tenant>.<field>``.
+REGISTERED_STATS = {
+    "SSDStats": "ssd",
+    "FTLStats": "ftl",
+    "LeaFTLStats": "leaftl",
+    "MappingTableStats": "mapping_table",
+    "CacheStats": "cache",
+    "WriteBufferStats": "write_buffer",
+    "AllocationStats": "allocator",
+    "FrontendStats": "frontend",
+    "NamespaceStats": "ns",
+}
+
+#: ``(class name, field name) -> reason`` for fields the registry may skip.
+#: Every entry must explain what covers the data instead; SIM007 treats any
+#: non-numeric, non-LatencyRecorder field missing from this table as an
+#: unexported counter.
+EXCLUDED_FIELDS = {
+    ("SSDStats", "mapping_bytes_samples"): (
+        "raw per-flush sample list; the registry exports the "
+        "mean_mapping_bytes/peak_mapping_bytes aggregate properties"
+    ),
+    ("LeaFTLStats", "levels_histogram"): (
+        "levels-searched histogram (Figure 23a); the aggregate is exported "
+        "as mapping_table.mean_levels_per_lookup"
+    ),
+}
+
+#: LatencyRecorder expansion: suffix -> extractor.
+_LATENCY_SUFFIXES = (
+    ("count", lambda r: float(r.count)),
+    ("total_us", lambda r: r.total_us),
+    ("mean_us", lambda r: r.mean_us),
+    ("p50_us", lambda r: r.percentile(50)),
+    ("p95_us", lambda r: r.percentile(95)),
+    ("p99_us", lambda r: r.percentile(99)),
+    ("max_us", lambda r: r.max_us),
+)
+
+
+def snapshot_stats(stats: Any, prefix: str) -> Dict[str, float]:
+    """Walk one stats object into flat ``<prefix>.<name>`` counters.
+
+    Fields come first (declaration order), then numeric properties in
+    alphabetical order — both deterministic, so two snapshots of identical
+    state serialize byte-identically.
+    """
+    cls = type(stats)
+    if not dataclasses.is_dataclass(stats):
+        raise TypeError(f"{cls.__name__} is not a dataclass; cannot snapshot")
+    counters: Dict[str, float] = {}
+    for field in dataclasses.fields(stats):
+        if (cls.__name__, field.name) in EXCLUDED_FIELDS:
+            continue
+        value = getattr(stats, field.name)
+        key = f"{prefix}.{field.name}"
+        if isinstance(value, LatencyRecorder):
+            for suffix, extract in _LATENCY_SUFFIXES:
+                counters[f"{key}.{suffix}"] = extract(value)
+        elif isinstance(value, bool):
+            counters[key] = float(value)
+        elif isinstance(value, (int, float)):
+            counters[key] = float(value)
+        else:
+            raise TypeError(
+                f"{cls.__name__}.{field.name} ({type(value).__name__}) is not "
+                "registry-exportable; make it numeric or add an "
+                "EXCLUDED_FIELDS entry explaining what covers it"
+            )
+    for name, member in inspect.getmembers(cls, lambda m: isinstance(m, property)):
+        value = getattr(stats, name)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            counters[f"{prefix}.{name}"] = float(value)
+    return counters
+
+
+@dataclasses.dataclass(frozen=True)
+class CounterSnapshot:
+    """One flat, namespaced snapshot of device counters with a delta API."""
+
+    counters: Mapping[str, float]
+
+    def __getitem__(self, key: str) -> float:
+        return self.counters[key]
+
+    def get(self, key: str, default: float = 0.0) -> float:
+        return self.counters.get(key, default)
+
+    def __len__(self) -> int:
+        return len(self.counters)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.counters
+
+    def keys(self):
+        return sorted(self.counters)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Key-sorted plain dictionary (stable serialization order)."""
+        return {key: self.counters[key] for key in sorted(self.counters)}
+
+    def delta(self, earlier: "CounterSnapshot") -> "CounterSnapshot":
+        """Per-key difference ``self - earlier`` (missing keys count as 0).
+
+        The union of both key sets is kept, so a counter that only exists
+        in one snapshot (say, a namespace added mid-run) still shows up.
+        """
+        keys = set(self.counters) | set(earlier.counters)
+        return CounterSnapshot(
+            {
+                key: self.counters.get(key, 0.0) - earlier.counters.get(key, 0.0)
+                for key in keys
+            }
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+
+def device_snapshot(ssd: Any, host: Any = None) -> CounterSnapshot:
+    """Snapshot every registered counter reachable from one device.
+
+    ``ssd`` is duck-typed (:class:`repro.ssd.ssd.SimulatedSSD`); ``host``
+    optionally adds per-tenant ``ns.<name>.*`` counters from a
+    :class:`repro.host.interface.HostInterface`.  A few live device gauges
+    that no stats dataclass owns (free blocks, wear imbalance, resident
+    mapping bytes) are exported under ``device.*``.
+    """
+    counters: Dict[str, float] = {}
+    counters.update(snapshot_stats(ssd.stats, REGISTERED_STATS["SSDStats"]))
+    counters.update(snapshot_stats(ssd.ftl.stats, REGISTERED_STATS["FTLStats"]))
+    lea_stats = getattr(ssd.ftl, "lea_stats", None)
+    if lea_stats is not None:
+        counters.update(snapshot_stats(lea_stats, REGISTERED_STATS["LeaFTLStats"]))
+    table_stats = getattr(getattr(ssd.ftl, "table", None), "stats", None)
+    if table_stats is not None:
+        counters.update(
+            snapshot_stats(table_stats, REGISTERED_STATS["MappingTableStats"])
+        )
+    counters.update(snapshot_stats(ssd.cache.stats, REGISTERED_STATS["CacheStats"]))
+    counters.update(
+        snapshot_stats(ssd.write_buffer.stats, REGISTERED_STATS["WriteBufferStats"])
+    )
+    counters.update(
+        snapshot_stats(ssd.allocator.stats, REGISTERED_STATS["AllocationStats"])
+    )
+    counters["device.free_blocks"] = float(ssd.allocator.free_block_count())
+    counters["device.free_block_ratio"] = ssd.allocator.free_ratio()
+    counters["device.wear_imbalance"] = ssd.allocator.wear_imbalance()
+    counters["device.cache_capacity_pages"] = float(ssd.cache.capacity_pages)
+    counters["device.mapping_resident_bytes"] = float(ssd.ftl.resident_bytes())
+    counters["device.write_buffer_pages"] = float(len(ssd.write_buffer))
+    if host is not None:
+        ns_prefix = REGISTERED_STATS["NamespaceStats"]
+        for name, namespace in sorted(host.namespaces.items()):
+            counters.update(
+                snapshot_stats(namespace.stats, f"{ns_prefix}.{name}")
+            )
+    return CounterSnapshot(counters)

@@ -1,0 +1,178 @@
+"""Telemetry session: configuration, attachment and artifact export.
+
+One :class:`Telemetry` object owns whatever collectors a run enables —
+a :class:`~repro.obs.tracing.Tracer`, a
+:class:`~repro.obs.metrics.MetricsSampler`, or both — and presents the
+single surface the device model talks to.  The device holds at most one
+``telemetry`` reference and guards every hook with ``is not None``, so the
+disabled path costs exactly the existing observer-is-None style check and
+nothing else.
+
+Modes (:data:`TELEMETRY_MODES`):
+
+``"off"``
+    No collectors; :func:`attach_telemetry` leaves ``ssd.telemetry`` None.
+``"trace"``
+    Tracer only (lifecycle spans + NAND probe).
+``"metrics"``
+    Sampler only (gauge time-series).
+``"on"``
+    Both.
+
+Attachment installs the NAND probe when tracing is enabled and re-arms
+itself across :meth:`~repro.ssd.ssd.SimulatedSSD.run_frontend` calls via
+the device's ``chain_observer`` wiring — the telemetry observer composes
+with a :class:`~repro.ssd.recovery.CrashTimer` or any other observer
+rather than displacing it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Any, Dict, Optional
+
+from repro.obs.metrics import DEFAULT_METRICS_INTERVAL_US, MetricsSampler
+from repro.obs.registry import device_snapshot
+from repro.obs.tracing import DEFAULT_TRACE_CAPACITY, Tracer
+from repro.sim.events import Event
+
+#: Accepted values of ``SSDOptions.telemetry`` / ``ExperimentSetup.telemetry``.
+TELEMETRY_MODES = ("off", "trace", "metrics", "on")
+
+
+@dataclasses.dataclass(frozen=True)
+class TelemetryConfig:
+    """What to collect and how much memory to spend on it."""
+
+    mode: str = "off"
+    trace_capacity: int = DEFAULT_TRACE_CAPACITY
+    metrics_interval_us: float = DEFAULT_METRICS_INTERVAL_US
+
+    def __post_init__(self) -> None:
+        if self.mode not in TELEMETRY_MODES:
+            raise ValueError(f"telemetry mode must be one of {TELEMETRY_MODES}")
+
+    @classmethod
+    def coerce(cls, value: Any) -> "TelemetryConfig":
+        """Accept a mode string or an existing config."""
+        if isinstance(value, TelemetryConfig):
+            return value
+        if isinstance(value, str):
+            return cls(mode=value)
+        raise TypeError(f"telemetry must be a mode string or TelemetryConfig, got {value!r}")
+
+    @property
+    def tracing(self) -> bool:
+        return self.mode in ("trace", "on")
+
+    @property
+    def metrics(self) -> bool:
+        return self.mode in ("metrics", "on")
+
+
+class Telemetry:
+    """The per-device telemetry session the SSD model calls into."""
+
+    def __init__(
+        self,
+        ssd: Any,
+        config: TelemetryConfig,
+        host: Any = None,
+    ) -> None:
+        self.config = config
+        self._ssd = ssd
+        self._host = host
+        self.tracer: Optional[Tracer] = (
+            Tracer(capacity=config.trace_capacity) if config.tracing else None
+        )
+        self.sampler: Optional[MetricsSampler] = (
+            MetricsSampler(ssd, host=host, interval_us=config.metrics_interval_us)
+            if config.metrics
+            else None
+        )
+        if self.tracer is not None:
+            ssd.scheduler.probe = self.tracer.nand_op
+
+    # ------------------------------------------------------------------ #
+    # Hooks called by the device model (each guarded by `is not None`)
+    # ------------------------------------------------------------------ #
+    def observe(self, event: Event) -> None:
+        """Event-loop observer fanning out to the enabled collectors."""
+        if self.tracer is not None:
+            self.tracer.observe(event)
+        if self.sampler is not None:
+            self.sampler.observe(event)
+
+    def pump(self, now_us: float) -> None:
+        """Clock tick from loop-less paths (serial engine flushes)."""
+        if self.sampler is not None:
+            self.sampler.pump(now_us)
+
+    def note_translation(
+        self, start_us: float, finish_us: float, reads: int, writes: int, foreground: bool
+    ) -> None:
+        if self.tracer is not None:
+            self.tracer.note_translation(start_us, finish_us, reads, writes, foreground)
+
+    def note_checkpoint(self, start_us: float, finish_us: float, pages: int) -> None:
+        if self.tracer is not None:
+            self.tracer.note_checkpoint(start_us, finish_us, pages)
+
+    def finalize(self, now_us: float) -> None:
+        """End-of-run: close the metrics series at the final sim time."""
+        if self.sampler is not None:
+            self.sampler.finalize(now_us)
+
+    # ------------------------------------------------------------------ #
+    # Artifacts
+    # ------------------------------------------------------------------ #
+    def write_artifacts(self, outdir: str) -> Dict[str, str]:
+        """Write every enabled collector's artifact plus a counter snapshot.
+
+        Returns ``{artifact name: path}``.  The counter snapshot
+        (``counters.json``) is always written — the registry needs no
+        collector, only the device.
+        """
+        os.makedirs(outdir, exist_ok=True)
+        written: Dict[str, str] = {}
+        if self.tracer is not None:
+            path = os.path.join(outdir, "trace.json")
+            self.tracer.export_json(path)
+            written["trace"] = path
+        if self.sampler is not None:
+            csv_path = os.path.join(outdir, "metrics.csv")
+            self.sampler.export_csv(csv_path)
+            written["metrics_csv"] = csv_path
+            json_path = os.path.join(outdir, "metrics.json")
+            self.sampler.export_json(json_path)
+            written["metrics_json"] = json_path
+        counters_path = os.path.join(outdir, "counters.json")
+        snapshot = device_snapshot(self._ssd, host=self._host)
+        with open(counters_path, "w", encoding="utf-8") as handle:
+            handle.write(snapshot.to_json())
+            handle.write("\n")
+        written["counters"] = counters_path
+        return written
+
+
+def attach_telemetry(
+    ssd: Any,
+    telemetry: Any = "on",
+    host: Any = None,
+) -> Optional[Telemetry]:
+    """Create a :class:`Telemetry` for ``ssd`` and install it.
+
+    ``telemetry`` is a mode string (see :data:`TELEMETRY_MODES`) or a
+    :class:`TelemetryConfig`.  Mode ``"off"`` leaves ``ssd.telemetry``
+    as ``None`` — the zero-cost disabled path — and returns ``None``.
+    ``host`` (a :class:`repro.host.interface.HostInterface`) adds
+    per-namespace queue-depth columns to the sampler.
+    """
+    config = TelemetryConfig.coerce(telemetry)
+    if config.mode == "off":
+        ssd.telemetry = None
+        return None
+    session = Telemetry(ssd, config, host=host)
+    ssd.telemetry = session
+    return session

@@ -1,0 +1,350 @@
+"""Sim-time request/GC/NAND tracing with Chrome trace-event export.
+
+The :class:`Tracer` hangs off the event loop's observer hook
+(:meth:`repro.sim.events.EventLoop.chain_observer`) and reconstructs what
+the discrete-event simulation *did* — per-request lifecycle spans from
+``request_issue`` to ``request_complete``, the background GC pipeline's
+read / migrate / erase stages, translation-page flash traffic and (via the
+NAND scheduler's probe hook) every channel-bus reservation — into a file
+``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_ load
+directly.
+
+Design constraints, in order:
+
+* **Never perturb the simulation.**  The tracer schedules no events,
+  reserves no resources and reads only simulated clocks (simlint SIM001
+  applies to this module), so ``repro.verify`` digests are identical with
+  tracing on or off.
+* **Deterministic output.**  Spans are correlated by object identity
+  *internally*, but everything emitted — thread ids, span names, argument
+  dictionaries — derives from deterministic slot numbering and request
+  fields, so two runs of the same seed export byte-identical JSON.
+* **Bounded memory.**  Closed spans and instants land in a ring buffer
+  (``deque(maxlen=...)``); a trace of a billion-event replay keeps the
+  last ``capacity`` records and counts the rest in :attr:`dropped`.
+  Because the ring holds only *closed* spans, eviction can never orphan a
+  "B" without its "E": begin/end pairs are generated at export time from
+  whole records, so the exported stream is balanced by construction.
+
+Track layout (one process, fixed thread ids):
+
+========  =====================================================
+tid       track
+========  =====================================================
+1         ``device`` — rate-limit retries, checkpoints, instants
+2         ``arrivals`` — open-loop request arrivals
+3         ``gc`` — background GC pipeline stages
+4         ``background`` — flush/GC/wear completion instants
+5         ``translate`` — translation-page flash I/O (may overlap)
+10 + c    ``ch<c>`` — NAND channel-bus reservations
+100 + s   ``io-slot-<s>`` — request lifecycle spans (slot = NCQ slot)
+========  =====================================================
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.sim.events import Event
+
+#: Fixed thread ids of the named tracks (see module docstring).
+_TID_DEVICE = 1
+_TID_ARRIVALS = 2
+_TID_GC = 3
+_TID_BACKGROUND = 4
+_TID_TRANSLATE = 5
+_TID_CHANNEL_BASE = 10
+_TID_SLOT_BASE = 100
+
+#: Default ring-buffer capacity (closed spans + instants retained).
+DEFAULT_TRACE_CAPACITY = 200_000
+
+#: Export sort rank per phase: at equal timestamps, span *ends* must
+#: precede span *begins* on the same track for begin/end nesting to hold.
+_PHASE_RANK = {"E": 0, "i": 1, "X": 1, "B": 2}
+
+
+class Tracer:
+    """Reconstructs lifecycle spans from the processed-event stream."""
+
+    def __init__(self, capacity: int = DEFAULT_TRACE_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        #: Closed records: ``(phase, tid, start_us, dur_us, name, args)``
+        #: where phase is "span" (export as B/E), "x" (export as X) or
+        #: "instant" (export as i).  dur_us is 0.0 for instants.
+        self._records: Deque[Tuple[str, int, float, float, str, Optional[Dict[str, Any]]]] = deque(
+            maxlen=capacity
+        )
+        self._appended = 0
+        #: id(request) -> (slot, issue_ts, name, args) for in-flight spans.
+        self._active: Dict[int, Tuple[int, float, str, Dict[str, Any]]] = {}
+        #: Min-heap of freed NCQ slot numbers (smallest reused first, so
+        #: slot assignment is a deterministic function of the event order).
+        self._free_slots: List[int] = []
+        self._next_slot = 0
+        self.max_slots = 0
+        #: Open GC stage: ``(span name, start_ts, victim block)`` or None.
+        self._gc_open: Optional[Tuple[str, float, Optional[int]]] = None
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def recorded(self) -> int:
+        """Records currently retained in the ring buffer."""
+        return len(self._records)
+
+    @property
+    def dropped(self) -> int:
+        """Records evicted by the ring buffer's capacity bound."""
+        return self._appended - len(self._records)
+
+    # ------------------------------------------------------------------ #
+    # Record plumbing
+    # ------------------------------------------------------------------ #
+    def _add(
+        self,
+        phase: str,
+        tid: int,
+        start_us: float,
+        dur_us: float,
+        name: str,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self._records.append((phase, tid, start_us, dur_us, name, args))
+        self._appended += 1
+
+    # ------------------------------------------------------------------ #
+    # Event-loop observer
+    # ------------------------------------------------------------------ #
+    def observe(self, event: Event) -> None:
+        """Event-loop observer: dispatch on the event kind.
+
+        Attach via :meth:`repro.sim.events.EventLoop.chain_observer`; runs
+        before the event's callback, while its payload is still intact.
+        """
+        kind = event.kind
+        if kind == "request_issue":
+            self._on_issue(event)
+        elif kind == "request_complete":
+            self._on_complete(event)
+        elif kind == "request_arrival":
+            self._on_arrival(event)
+        elif kind in ("gc_step", "gc_program", "gc_erase"):
+            self._on_gc(kind, event)
+        elif kind.endswith("_done"):
+            self._add("instant", _TID_BACKGROUND, event.time_us, 0.0, kind)
+        else:
+            self._add("instant", _TID_DEVICE, event.time_us, 0.0, kind)
+
+    @staticmethod
+    def _request_of(payload: Any) -> Tuple[Any, Optional[Any], Optional[float]]:
+        """``(request, queue, ready_us)`` from either frontend's payload.
+
+        Single-queue frontends carry the bare ``IORequest``; the
+        multi-queue frontend carries ``(queue, request, ready_us)``.
+        """
+        if isinstance(payload, tuple):
+            if len(payload) == 3:
+                queue, request, ready_us = payload
+                return request, queue, ready_us
+            if len(payload) == 2:
+                queue, request = payload
+                return request, queue, None
+        return payload, None, None
+
+    def _on_issue(self, event: Event) -> None:
+        request, queue, ready_us = self._request_of(event.payload)
+        if request is None:
+            return
+        if self._free_slots:
+            slot = heapq.heappop(self._free_slots)
+        else:
+            slot = self._next_slot
+            self._next_slot += 1
+            self.max_slots = self._next_slot
+        op = getattr(request, "op", "?")
+        args: Dict[str, Any] = {
+            "lpa": getattr(request, "lpa", -1),
+            "npages": getattr(request, "npages", 0),
+        }
+        if queue is not None:
+            args["queue"] = getattr(queue, "name", str(queue))
+        if ready_us is not None:
+            args["queue_wait_us"] = max(0.0, event.time_us - ready_us)
+        self._active[id(request)] = (slot, event.time_us, op, args)
+
+    def _on_complete(self, event: Event) -> None:
+        request, _queue, _ready_us = self._request_of(event.payload)
+        if request is None:
+            return
+        opened = self._active.pop(id(request), None)
+        if opened is None:
+            return
+        slot, start, name, args = opened
+        self._add("span", _TID_SLOT_BASE + slot, start, event.time_us - start, name, args)
+        heapq.heappush(self._free_slots, slot)
+
+    def _on_arrival(self, event: Event) -> None:
+        request, queue, _ready = self._request_of(event.payload)
+        name = getattr(request, "op", "arrival")
+        args: Optional[Dict[str, Any]] = None
+        if queue is not None:
+            args = {"queue": getattr(queue, "name", str(queue))}
+        self._add("instant", _TID_ARRIVALS, event.time_us, 0.0, name, args)
+
+    def _on_gc(self, kind: str, event: Event) -> None:
+        """GC pipeline state machine (one victim in flight at a time).
+
+        ``gc_step`` selects (closing the previous victim's erase stage),
+        ``gc_program`` fires at the reads' completion (closing ``gc_read``),
+        ``gc_erase`` fires at the programs' completion (closing
+        ``gc_migrate``).  A stage left open when the pipeline stops is
+        simply never closed — and therefore never exported.
+        """
+        now = event.time_us
+        block = event.payload if isinstance(event.payload, int) else None
+        open_stage = self._gc_open
+        if open_stage is not None:
+            name, start, open_block = open_stage
+            expected = {"gc_program": "gc_read", "gc_erase": "gc_migrate", "gc_step": "gc_erase"}[kind]
+            if name == expected:
+                args = None if open_block is None else {"block": open_block}
+                self._add("span", _TID_GC, start, now - start, name, args)
+        if kind == "gc_step":
+            self._gc_open = ("gc_read", now, None)
+        elif kind == "gc_program":
+            self._gc_open = ("gc_migrate", now, block)
+        else:  # gc_erase
+            self._gc_open = ("gc_erase", now, block)
+
+    # ------------------------------------------------------------------ #
+    # Out-of-band probes (no event exists for these)
+    # ------------------------------------------------------------------ #
+    def nand_op(self, channel: int, start_us: float, finish_us: float) -> None:
+        """NAND scheduler probe: one channel-bus reservation.
+
+        Install as :attr:`repro.sim.nand.NANDScheduler.probe`.  Channel-bus
+        reservations never overlap within a channel, but an op issued at a
+        busy instant *starts* in the past relative to later records, so
+        these export as "X" complete events (no nesting requirement).
+        """
+        self._add("x", _TID_CHANNEL_BASE + channel, start_us, finish_us - start_us, "nand")
+
+    def note_translation(
+        self, start_us: float, finish_us: float, reads: int, writes: int, foreground: bool
+    ) -> None:
+        """Translation-page flash I/O performed by the FTL (DFTL/SFTL).
+
+        Foreground fetches are spans serial with the host read; background
+        charges complete at their channels, so they render as instants.
+        """
+        args = {"reads": reads, "writes": writes}
+        if foreground and finish_us > start_us:
+            self._add("x", _TID_TRANSLATE, start_us, finish_us - start_us, "translate", args)
+        else:
+            self._add("instant", _TID_TRANSLATE, start_us, 0.0, "translate", args)
+
+    def note_checkpoint(self, start_us: float, finish_us: float, pages: int) -> None:
+        """A mapping checkpoint was persisted (``MappingCheckpointer.take``)."""
+        self._add(
+            "x",
+            _TID_DEVICE,
+            start_us,
+            max(0.0, finish_us - start_us),
+            "checkpoint",
+            {"pages": pages},
+        )
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _thread_name(tid: int) -> str:
+        if tid == _TID_DEVICE:
+            return "device"
+        if tid == _TID_ARRIVALS:
+            return "arrivals"
+        if tid == _TID_GC:
+            return "gc"
+        if tid == _TID_BACKGROUND:
+            return "background"
+        if tid == _TID_TRANSLATE:
+            return "translate"
+        if _TID_CHANNEL_BASE <= tid < _TID_SLOT_BASE:
+            return f"ch{tid - _TID_CHANNEL_BASE}"
+        return f"io-slot-{tid - _TID_SLOT_BASE}"
+
+    def trace_events(self) -> List[Dict[str, Any]]:
+        """The Chrome trace-event list (metadata first, then sorted events).
+
+        Events are ordered by ``(ts, phase rank, record order)`` with ends
+        before begins at equal timestamps, so per-track begin/end stacks
+        balance and nest; timestamps are the simulated microsecond clock.
+        """
+        keyed: List[Tuple[float, int, int, Dict[str, Any]]] = []
+        tids = set()
+        order = 0
+        for phase, tid, start, dur, name, args in self._records:
+            tids.add(tid)
+            if phase == "span" and dur > 0.0:
+                begin: Dict[str, Any] = {
+                    "name": name, "ph": "B", "ts": start, "pid": 1, "tid": tid,
+                }
+                if args:
+                    begin["args"] = args
+                keyed.append((start, _PHASE_RANK["B"], order, begin))
+                keyed.append(
+                    (start + dur, _PHASE_RANK["E"], order + 1,
+                     {"name": name, "ph": "E", "ts": start + dur, "pid": 1, "tid": tid})
+                )
+                order += 2
+                continue
+            if phase == "instant" or dur <= 0.0:
+                entry = {
+                    "name": name, "ph": "i", "ts": start, "pid": 1, "tid": tid, "s": "t",
+                }
+                if args:
+                    entry["args"] = args
+                keyed.append((start, _PHASE_RANK["i"], order, entry))
+            else:
+                entry = {
+                    "name": name, "ph": "X", "ts": start, "dur": dur, "pid": 1, "tid": tid,
+                }
+                if args:
+                    entry["args"] = args
+                keyed.append((start, _PHASE_RANK["X"], order, entry))
+            order += 1
+        keyed.sort(key=lambda item: (item[0], item[1], item[2]))
+        events: List[Dict[str, Any]] = [
+            {
+                "name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+                "args": {"name": self._thread_name(tid)},
+            }
+            for tid in sorted(tids)
+        ]
+        events.extend(entry for _, _, _, entry in keyed)
+        return events
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """The full Chrome trace object (load in chrome://tracing/Perfetto)."""
+        return {
+            "traceEvents": self.trace_events(),
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "clock": "simulated-us",
+                "recorded": self.recorded,
+                "dropped": self.dropped,
+            },
+        }
+
+    def export_json(self, path: str) -> None:
+        """Write the trace to ``path`` (deterministic bytes given a seed)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_chrome_trace(), handle, sort_keys=True, separators=(",", ":"))
+            handle.write("\n")

@@ -124,8 +124,14 @@ class HostFrontend:
         )
         # Completions fire at foreground priority so a freed NCQ slot admits
         # the next request before any same-timestamp background GC step runs.
+        # The request rides along as the payload so observers can pair the
+        # completion with its issue (payloads are not digested).
         self._loop.schedule(
-            finish, "request_complete", self._complete, priority=PRIORITY_FOREGROUND
+            finish,
+            "request_complete",
+            self._complete,
+            priority=PRIORITY_FOREGROUND,
+            payload=request,
         )
 
     def _complete(self, event: Event) -> None:
@@ -230,7 +236,11 @@ class OpenLoopFrontend:
             request.op, request.lpa, request.npages, at_us=event.time_us
         )
         self._loop.schedule(
-            finish, "request_complete", self._complete, priority=PRIORITY_FOREGROUND
+            finish,
+            "request_complete",
+            self._complete,
+            priority=PRIORITY_FOREGROUND,
+            payload=request,
         )
         self._schedule_next_arrival()
 

@@ -28,7 +28,7 @@ Two timing models are supported:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 TIMING_MODELS = ("bus", "die")
 
@@ -56,6 +56,11 @@ class NANDScheduler:
             [0.0] * dies_per_channel for _ in range(channels)
         ]
         self._bus_time_us: List[float] = [0.0] * channels
+        #: Optional observation hook called as ``probe(channel, start_us,
+        #: finish_us)`` for every bus reservation.  Purely observational —
+        #: it must not touch the scheduler — and ``None`` (the default)
+        #: keeps the hot path at a single attribute check.
+        self.probe: Optional[Callable[[int, float, float], None]] = None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -80,6 +85,10 @@ class NANDScheduler:
         if now_us <= 0.0:
             return 0.0
         return min(1.0, self._bus_time_us[channel] / now_us)
+
+    def bus_time_us(self, channel: int) -> float:
+        """Cumulative bus-occupied time of ``channel`` (for windowed rates)."""
+        return self._bus_time_us[channel]
 
     def least_busy_channel(self, candidates: Optional[Sequence[int]] = None) -> int:
         """The channel whose bus frees up earliest (ties → lowest index).
@@ -129,6 +138,8 @@ class NANDScheduler:
             occupied_until = start + (cell_us if cell_us is not None else bus_us)
             if occupied_until > self._die_busy_until[channel][die]:
                 self._die_busy_until[channel][die] = occupied_until
+        if self.probe is not None:
+            self.probe(channel, start, finish)
         return finish
 
     def reserve_run(
@@ -148,6 +159,16 @@ class NANDScheduler:
         reads — costs one call instead of one per page.  Returns the bus
         completion time of the *last* operation.
         """
+        if self.probe is not None and count > 0:
+            # With a probe installed every operation must be visible
+            # individually; :meth:`reserve` performs the identical float
+            # chain (same order of the same operations), so delegating is
+            # digest-exact.  count == 0 falls through to the batched body,
+            # which returns the current bus-busy time untouched.
+            finish = self._bus_busy_until[channel]
+            for _ in range(count):
+                finish = self.reserve(channel, at_us, bus_us, die=die, cell_us=cell_us)
+            return finish
         busy = self._bus_busy_until[channel]
         bus_total = self._bus_time_us[channel]
         die_model = self.timing_model == "die"

@@ -268,6 +268,11 @@ class BackgroundGCController:
         """The victim block currently mid-pipeline, if any."""
         return self._in_flight
 
+    @property
+    def backlog(self) -> int:
+        """Victim blocks selected but not yet erased (queued + in flight)."""
+        return len(self._pending) + (1 if self._in_flight is not None else 0)
+
     # ------------------------------------------------------------------ #
     # Activation
     # ------------------------------------------------------------------ #

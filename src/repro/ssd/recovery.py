@@ -178,8 +178,13 @@ class MappingCheckpointer:
         ssd.stats.checkpoint_page_writes += pages
         flash = ssd.flash
         write_us = ssd.config.write_latency_us
+        finish = at_us
         for _ in range(pages):
-            flash.occupy_channel(ssd._next_background_channel(), at_us, write_us)
+            done = flash.occupy_channel(ssd._next_background_channel(), at_us, write_us)
+            finish = max(finish, done)
+        telemetry = getattr(ssd, "telemetry", None)
+        if telemetry is not None:
+            telemetry.note_checkpoint(at_us, finish, pages)
         self.image = CheckpointImage(
             payload=payload,
             pages=pages,

@@ -156,6 +156,11 @@ class SSDOptions:
     #: ``"round_robin"``, ``"weighted_round_robin"`` or
     #: ``"strict_priority"``.  Single-queue replays ignore it.
     arbiter: str = "round_robin"
+    #: Observability mode (:data:`repro.obs.session.TELEMETRY_MODES`):
+    #: ``"off"`` (default, zero per-event cost beyond observer-is-None
+    #: checks), ``"trace"``, ``"metrics"`` or ``"on"`` (both).  Collectors
+    #: never perturb scheduling, so determinism digests are unchanged.
+    telemetry: str = "off"
 
 
 class SimulatedSSD:
@@ -247,6 +252,16 @@ class SimulatedSSD:
         #: keep this module free of a circular import.  ``None`` (the
         #: default) costs a single predicate per flush and nothing else.
         self.checkpointer: Optional[Any] = None
+        #: Telemetry session (:class:`repro.obs.session.Telemetry`);
+        #: duck-typed for the same import-cycle reason as ``checkpointer``.
+        #: ``None`` (telemetry off) keeps every hook at one predicate.
+        self.telemetry: Optional[Any] = None
+        if self.options.telemetry != "off":
+            # Lazy import: repro.obs sits above this module in the layer
+            # stack (its registry imports repro.ssd.stats).
+            from repro.obs.session import attach_telemetry
+
+            attach_telemetry(self, self.options.telemetry)
 
     # ------------------------------------------------------------------ #
     # Small helpers
@@ -354,14 +369,21 @@ class SimulatedSSD:
         self.stats.translation_page_reads += reads
         self.stats.translation_page_writes += writes
         finish = start_us
+        background_finish = start_us
         for _ in range(reads):
             channel = self._next_background_channel()
             done = self.flash.occupy_channel(channel, start_us, self.config.read_latency_us)
             finish = max(finish, done) if foreground else finish
+            background_finish = max(background_finish, done)
         for _ in range(writes):
             channel = self._next_background_channel()
             done = self.flash.occupy_channel(channel, start_us, self.config.write_latency_us)
             finish = max(finish, done) if foreground else finish
+            background_finish = max(background_finish, done)
+        if self.telemetry is not None:
+            self.telemetry.note_translation(
+                start_us, background_finish, reads, writes, foreground
+            )
         return finish
 
     # ------------------------------------------------------------------ #
@@ -421,6 +443,10 @@ class SimulatedSSD:
         self._maybe_collect_garbage(at_us=clock)
         self._maybe_level_wear(at_us=clock)
         self._throttle_if_critical(clock)
+        if self.telemetry is not None:
+            # Serial replays process few loop events, so the flush clock is
+            # the sampling heartbeat that keeps metrics flowing there.
+            self.telemetry.pump(clock)
 
     # ------------------------------------------------------------------ #
     # Programming batches (host flush, GC migration, wear leveling)
@@ -1064,8 +1090,15 @@ class SimulatedSSD:
         follow up with :meth:`finalize_replay`.
         """
         self._loop = loop
-        if self.event_observer is not None and loop.observer is None:
-            loop.observer = self.event_observer
+        # Chain rather than install-if-empty: a caller-installed observer
+        # (say a CrashTimer on the loop) and the device's own observers
+        # must all see every event.  chain_observer runs the existing
+        # observer first, so the digest/crash ordering of repro.verify is
+        # preserved and telemetry observes last.
+        if self.event_observer is not None and loop.observer is not self.event_observer:
+            loop.chain_observer(self.event_observer)
+        if self.telemetry is not None:
+            loop.chain_observer(self.telemetry.observe)
         try:
             if requests is None:
                 frontend.run()
@@ -1088,6 +1121,8 @@ class SimulatedSSD:
         self.stats.measured_time_us = max(
             0.0, self.stats.simulated_time_us - self._measure_start_us
         )
+        if self.telemetry is not None:
+            self.telemetry.finalize(self.stats.simulated_time_us)
         return self.stats
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,49 @@
+# Fixture for SIM007 (registry-coverage).  See sim001 fixture for the
+# marker convention.  NOT imported — parsed by simlint only.  The rule
+# resolves REGISTERED_STATS/EXCLUDED_FIELDS from the real registry at
+# src/repro/obs/registry.py, so "registered" names below are real ones.
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class OrphanStats:  # expect: SIM007
+    lookups: int = 0
+    hits: int = 0
+
+
+@dataclass
+class CacheStats:  # registered name: the class itself is fine...
+    hits: int = 0
+    misses: int = 0
+    eviction_log: List[int] = field(default_factory=list)  # expect: SIM007
+
+
+@dataclass
+class WriteBufferStats:  # registered
+    writes: int = 0
+    flushes: int = 0
+    fill_history: Dict[int, int] = field(default_factory=dict)  # simlint: disable=SIM007
+
+
+@dataclass
+class SSDStats:  # registered, and this non-numeric field is in EXCLUDED_FIELDS
+    host_reads: int = 0
+    mapping_bytes_samples: List[int] = field(default_factory=list)
+
+
+@dataclass
+class FrontendStats:  # registered, all-numeric: clean
+    submitted: int = 0
+    completed: int = 0
+    finished_at_us: float = 0.0
+
+
+class RuntimeStats:  # not a dataclass: the registry cannot walk it anyway
+    def __init__(self) -> None:
+        self.samples: List[float] = []
+
+
+@dataclass
+class TraceCursor:  # name does not end in "Stats": out of scope
+    offsets: List[int] = field(default_factory=list)

@@ -40,6 +40,7 @@ FIXTURE_OF_RULE = {
     "SIM004": "sim004_timestamp_eq.py",
     "SIM005": "sim005_mutable_defaults.py",
     "SIM006": "sim006_stats_counters.py",
+    "SIM007": "sim007_registry_coverage.py",
 }
 
 

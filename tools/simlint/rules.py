@@ -9,6 +9,7 @@ negatives are acceptable, false positives are suppressed inline with
 from __future__ import annotations
 
 import ast
+from pathlib import Path
 from typing import Iterator, List, Optional, Set, Tuple
 
 from tools.simlint.engine import FileContext, Finding, ImportMap, Rule, register
@@ -632,3 +633,136 @@ class MonotoneStatsCounters(Rule):
                 yield from walk(child, child_func)
 
         yield from walk(ctx.tree, None)
+
+
+# --------------------------------------------------------------------------- #
+# SIM007 — every *Stats counter must be reachable from the counter registry
+# --------------------------------------------------------------------------- #
+def _registry_tables(start: "Path") -> Tuple[Set[str], Set[Tuple[str, str]]]:
+    """Parse ``REGISTERED_STATS`` / ``EXCLUDED_FIELDS`` out of the registry.
+
+    The registry module (``src/repro/obs/registry.py``) keeps both tables
+    as pure literals precisely so this rule can read them statically.  The
+    file is located by walking up from the linted file to the directory
+    containing ``src``; results are cached per registry path.
+    """
+    registry_path: Optional[Path] = None
+    probe = start.resolve()
+    for parent in (probe, *probe.parents):
+        candidate = parent / "src" / "repro" / "obs" / "registry.py"
+        if candidate.is_file():
+            registry_path = candidate
+            break
+    if registry_path is None:
+        return set(), set()
+    cached = _REGISTRY_CACHE.get(registry_path)
+    if cached is not None:
+        return cached
+    registered: Set[str] = set()
+    excluded: Set[Tuple[str, str]] = set()
+    tree = ast.parse(registry_path.read_text(encoding="utf-8"))
+    for node in tree.body:
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+            continue
+        target = node.targets[0]
+        if not (isinstance(target, ast.Name) and isinstance(node.value, ast.Dict)):
+            continue
+        if target.id == "REGISTERED_STATS":
+            for key in node.value.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    registered.add(key.value)
+        elif target.id == "EXCLUDED_FIELDS":
+            for key in node.value.keys:
+                if (
+                    isinstance(key, ast.Tuple)
+                    and len(key.elts) == 2
+                    and all(
+                        isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+                        for elt in key.elts
+                    )
+                ):
+                    excluded.add((key.elts[0].value, key.elts[1].value))
+    _REGISTRY_CACHE[registry_path] = (registered, excluded)
+    return registered, excluded
+
+
+_REGISTRY_CACHE: dict = {}
+
+#: Field annotations the registry walks natively (see ``snapshot_stats``):
+#: plain numerics plus the LatencyRecorder expansion.
+_REGISTRY_EXPORTABLE_ANNOTATIONS = frozenset(
+    {"int", "float", "bool", "LatencyRecorder"}
+)
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = target.attr if isinstance(target, ast.Attribute) else getattr(target, "id", "")
+        if name == "dataclass":
+            return True
+    return False
+
+
+@register
+class RegistryCoverage(Rule):
+    code = "SIM007"
+    name = "registry-coverage"
+    rationale = (
+        "Every *Stats dataclass counter must be reachable from the counter "
+        "registry (repro.obs.registry), or it silently misses every export "
+        "— the way checkpoint_page_writes shipped a whole PR without "
+        "appearing in any report.  Register the class in REGISTERED_STATS; "
+        "non-numeric fields need an EXCLUDED_FIELDS entry naming what "
+        "covers them."
+    )
+    default_paths = ("src/repro",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        registered, excluded = _registry_tables(Path(ctx.path).parent)
+        if not registered:
+            # No registry found (e.g. linting a partial checkout): nothing
+            # to enforce against.
+            return
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.ClassDef)
+                and node.name.endswith("Stats")
+                and _is_dataclass_decorated(node)
+            ):
+                continue
+            if node.name not in registered:
+                yield from self.emit(
+                    ctx,
+                    node,
+                    f"stats dataclass {node.name!r} is not in "
+                    "repro.obs.registry.REGISTERED_STATS; its counters are "
+                    "invisible to every registry-based export",
+                )
+                continue
+            for stmt in node.body:
+                if not (
+                    isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                ):
+                    continue
+                field_name = stmt.target.id
+                if (node.name, field_name) in excluded:
+                    continue
+                annotation = stmt.annotation
+                ann_name = ""
+                if isinstance(annotation, ast.Name):
+                    ann_name = annotation.id
+                elif isinstance(annotation, ast.Constant) and isinstance(
+                    annotation.value, str
+                ):
+                    ann_name = annotation.value
+                if ann_name not in _REGISTRY_EXPORTABLE_ANNOTATIONS:
+                    yield from self.emit(
+                        ctx,
+                        stmt,
+                        f"field {node.name}.{field_name} "
+                        f"({ast.unparse(annotation)}) is not "
+                        "registry-exportable; make it numeric or add an "
+                        "EXCLUDED_FIELDS entry explaining what covers it",
+                    )
