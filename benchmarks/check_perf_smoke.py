@@ -21,6 +21,14 @@ Calibration notes, so the threshold is read honestly:
 Tighten ``--max-regression`` only after re-recording the baseline on
 the infrastructure that runs this check.
 
+A tripped gate explains itself: the failure path diffs the measurement's
+counter snapshot against the committed baseline's (via
+``repro.obs.analyze.diff_counters``) and compares the p99
+latency-attribution shares against the committed fingerprint, so the
+failure output names which counters and which latency component moved
+rather than just "slower".  Baselines recorded before counters and
+attribution were stored degrade to a note suggesting a re-record.
+
 The power-fail machinery (``repro.ssd.recovery``) is exercised by its
 own tests and determinism scenario, not here: with no crash timer
 attached and no checkpointer installed, the hooks on the replay hot
@@ -41,20 +49,85 @@ if str(REPO / "src") not in sys.path:
     sys.path.insert(0, str(REPO / "src"))
 sys.path.insert(0, str(REPO / "benchmarks"))
 
-from record_trajectory import CONFIGS, DEFAULT_OUTPUT  # noqa: E402
+from record_trajectory import CONFIGS, DEFAULT_OUTPUT, attribution_summary  # noqa: E402
 
 
-def baseline_ios_per_sec(trajectory: Path, config: str) -> float:
+def baseline_run(trajectory: Path) -> dict:
     history = json.loads(trajectory.read_text())
     if not history.get("runs"):
         raise SystemExit(f"{trajectory} has no recorded runs to compare against")
-    last = history["runs"][-1]
+    return history["runs"][-1]
+
+
+def baseline_ios_per_sec(trajectory: Path, config: str) -> float:
+    last = baseline_run(trajectory)
     try:
         return float(last["configs"][config]["ios_per_sec"])
     except KeyError as error:
         raise SystemExit(
             f"baseline run {last.get('label')!r} has no {config}/ios_per_sec"
         ) from error
+
+
+def explain_regression(baseline: dict, config: str, measured: dict) -> None:
+    """Attribute a tripped gate: which counters and which latency component.
+
+    Prints a thresholded counter diff between the committed baseline's
+    stored snapshot and the failing measurement (work-mix changes show up
+    here: extra GC, lost cache hits, misprediction storms), then compares
+    the p99 latency-attribution shares against the committed fingerprint.
+    Baselines recorded before counters/attribution were stored degrade to
+    an explanatory note instead of failing the failure path.
+    """
+    from repro.obs import diff_counters
+
+    base_counters = baseline.get("configs", {}).get(config, {}).get("counters")
+    if not base_counters:
+        print(
+            f"  (baseline {baseline.get('label')!r} predates stored counters; "
+            "re-record the trajectory to enable counter diffs)"
+        )
+    else:
+        # 10% threshold: replay counts are deterministic, so anything
+        # moving at all is structural; 10% filters float-derived ratios.
+        diff = diff_counters(base_counters, measured["counters"], rel_threshold=0.10)
+        movers = [row for row in diff["changed"] if not row["counter"].startswith("device.")]
+        print(f"  counters moved past 10% ({len(movers)} of {diff['compared']}):")
+        for row in movers[:12]:
+            rel = "new" if row["rel"] is None else f"{row['rel']:+.1%}"
+            print(
+                f"    {row['counter']}: {row['base']:g} -> {row['current']:g} ({rel})"
+            )
+        if len(movers) > 12:
+            print(f"    ... {len(movers) - 12} more (see repro.obs diff)")
+    base_attr = baseline.get("attribution")
+    if not base_attr:
+        print(
+            f"  (baseline {baseline.get('label')!r} predates stored attribution; "
+            "re-record the trajectory to enable component comparison)"
+        )
+        return
+    fresh = attribution_summary(
+        scale=float(base_attr.get("scale", 0.4)), seed=int(base_attr.get("seed", 1234))
+    )
+    print("  p99 latency attribution vs committed fingerprint:")
+    for op, base_op in sorted(base_attr.get("ops", {}).items()):
+        fresh_op = fresh["ops"].get(op)  # type: ignore[union-attr]
+        if fresh_op is None:
+            continue
+        shares = dict(base_op.get("p99_shares", {}))
+        components = sorted(set(shares) | set(fresh_op["p99_shares"]))
+        deltas = [
+            f"{component} {shares.get(component, 0.0):.1%}"
+            f"->{fresh_op['p99_shares'].get(component, 0.0):.1%}"
+            for component in components
+        ]
+        marker = (
+            ""
+            if fresh_op["p99_dominant"] == base_op.get("p99_dominant")
+            else f"  [dominant changed: {base_op.get('p99_dominant')} -> {fresh_op['p99_dominant']}]"
+        )
+        print(f"    {op}: {', '.join(deltas)}{marker}")
 
 
 def main(argv: list = None) -> int:
@@ -74,16 +147,21 @@ def main(argv: list = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    last = baseline_run(args.baseline)
     baseline = baseline_ios_per_sec(args.baseline, args.config)
     floor = baseline * (1.0 - args.max_regression)
     print(f"measuring {args.config} at scale {args.scale} ...", flush=True)
-    measured = CONFIGS[args.config](args.scale)["ios_per_sec"]
+    result = CONFIGS[args.config](args.scale)
+    measured = float(result["ios_per_sec"])  # type: ignore[arg-type]
     verdict = "ok" if measured >= floor else "REGRESSION"
     print(
         f"{args.config}: measured {measured:,.1f} IOs/sec vs committed baseline "
         f"{baseline:,.1f} (floor {floor:,.1f} at -{args.max_regression:.0%}): {verdict}"
     )
-    return 0 if measured >= floor else 1
+    if measured >= floor:
+        return 0
+    explain_regression(last, args.config, result)
+    return 1
 
 
 if __name__ == "__main__":

@@ -79,12 +79,15 @@ def _aged_device(scale: float, **overrides: object) -> Tuple[SimulatedSSD, list]
     return ssd, requests
 
 
-def _measure(run: Callable[[], SimulatedSSD]) -> Dict[str, float]:
+def _measure(run: Callable[[], SimulatedSSD]) -> Dict[str, object]:
     """Time one replay; returns wall-clock throughput metrics.
 
     Work counts come from the counter registry (one namespaced snapshot
     of every stats object) rather than hand-picked fields, so the
     denominator set stays in sync with whatever the simulator counts.
+    The full snapshot rides along under ``counters`` so the perf smoke
+    gate (``check_perf_smoke.py``) can diff a failing measurement against
+    the committed baseline counter-by-counter via ``repro.obs.analyze``.
     """
     from repro.obs.registry import device_snapshot
 
@@ -102,10 +105,51 @@ def _measure(run: Callable[[], SimulatedSSD]) -> Dict[str, float]:
         "ios_per_sec": round(requests / elapsed, 1),
         "events_per_sec": round(events / elapsed, 1),
         "pages_per_sec": round(pages / elapsed, 1),
+        "counters": counters.as_dict(),
     }
 
 
-def bench_qd1_serial(scale: float) -> Dict[str, float]:
+def attribution_summary(scale: float = 0.4, seed: int = 1234) -> Dict[str, object]:
+    """Latency-attribution fingerprint of the instrumented verify scenario.
+
+    Runs the traced multi-tenant scenario once and reduces its request
+    spans to the per-op p99 attribution plus the tail-blame clusters —
+    the 'where does the time go' companion to the raw throughput numbers,
+    so a committed trajectory point records not just how fast the replay
+    was but which component dominated its tail.
+    """
+    from repro.obs import attribute_requests, request_spans, tail_blame
+    from repro.obs.__main__ import run_multi_tenant
+
+    ssd, telemetry = run_multi_tenant(scale=scale, seed=seed)
+    spans = request_spans(telemetry.tracer.trace_events())
+    attribution = attribute_requests(spans)
+    summary: Dict[str, object] = {"scale": scale, "seed": seed, "ops": {}}
+    for op, table in attribution["ops"].items():
+        p99 = table["levels"]["p99"]
+        summary["ops"][op] = {  # type: ignore[index]
+            "count": table["count"],
+            "p99_latency_us": round(p99["latency_us"], 3),
+            "p99_dominant": p99["dominant"],
+            "p99_shares": {
+                component: round(entry["share"], 4)
+                for component, entry in p99["components"].items()
+                if entry["share"] >= 0.01
+            },
+        }
+    blame = tail_blame(spans)
+    summary["tail_blame"] = [
+        {
+            "component": cluster["component"],
+            "count": cluster["count"],
+            "mean_latency_us": round(cluster["mean_latency_us"], 3),
+        }
+        for cluster in blame["clusters"]
+    ]
+    return summary
+
+
+def bench_qd1_serial(scale: float) -> Dict[str, object]:
     ssd, requests = _aged_device(scale, queue_depth=1)
 
     def run() -> SimulatedSSD:
@@ -115,7 +159,7 @@ def bench_qd1_serial(scale: float) -> Dict[str, float]:
     return _measure(run)
 
 
-def bench_qd8_events(scale: float) -> Dict[str, float]:
+def bench_qd8_events(scale: float) -> Dict[str, object]:
     ssd, requests = _aged_device(scale, queue_depth=8)
 
     def run() -> SimulatedSSD:
@@ -125,7 +169,7 @@ def bench_qd8_events(scale: float) -> Dict[str, float]:
     return _measure(run)
 
 
-def bench_open_loop(scale: float) -> Dict[str, float]:
+def bench_open_loop(scale: float) -> Dict[str, object]:
     from repro.workloads.trace import IORequest, Trace
 
     ssd, requests = _aged_device(scale, queue_depth=8, replay_mode="open")
@@ -144,7 +188,7 @@ def bench_open_loop(scale: float) -> Dict[str, float]:
     return _measure(run)
 
 
-def bench_multiqueue_wrr(scale: float) -> Dict[str, float]:
+def bench_multiqueue_wrr(scale: float) -> Dict[str, object]:
     from repro.verify import VERIFY_ARBITER, verify_scenario
     from repro.experiments.multi_tenant import (
         build_tenant_host,
@@ -163,7 +207,7 @@ def bench_multiqueue_wrr(scale: float) -> Dict[str, float]:
     return _measure(run)
 
 
-CONFIGS: Dict[str, Callable[[float], Dict[str, float]]] = {
+CONFIGS: Dict[str, Callable[[float], Dict[str, object]]] = {
     "qd1_serial": bench_qd1_serial,
     "qd8_events": bench_qd8_events,
     "open_loop": bench_open_loop,
@@ -171,7 +215,7 @@ CONFIGS: Dict[str, Callable[[float], Dict[str, float]]] = {
 }
 
 
-def _profiled(name: str, bench: Callable[[float], Dict[str, float]], scale: float) -> Dict[str, float]:
+def _profiled(name: str, bench: Callable[[float], Dict[str, object]], scale: float) -> Dict[str, object]:
     """Run one config under cProfile and print its top-25 cumulative functions.
 
     The wall-clock numbers of a profiled run are inflated by instrumentation
@@ -211,6 +255,8 @@ def record(
             entry["configs"][name] = _profiled(name, bench, scale)  # type: ignore[index]
         else:
             entry["configs"][name] = bench(scale)  # type: ignore[index]
+    print("  measuring attribution ...", flush=True)
+    entry["attribution"] = attribution_summary()
     if not dry_run:
         history = {"runs": []}
         if output.exists():

@@ -19,7 +19,12 @@ through what each one saw:
   the latency spike the tenants observed.
 * **Counter registry** — every ``*Stats`` dataclass flattened into one
   namespaced snapshot with a delta API; the tour prints the counters
-  that moved during the measured phase.
+  that moved during the measured phase (via the run differ's
+  ``diff_counters``).
+* **Analyzer** (``repro.obs.analyze``) — the same artifacts
+  post-processed into explanations: per-percentile critical-path
+  latency attribution, tail-blame clustering and the per-namespace SLO
+  scorecard, rendered into ``report.md`` next to the raw artifacts.
 
 Everything here is observational: running this with telemetry on
 produces bit-identical ``repro.verify`` digests to a plain run.
@@ -35,7 +40,14 @@ from repro.experiments.multi_tenant import (
     reader_tenant,
     writer_tenant,
 )
-from repro.obs import attach_telemetry, device_snapshot
+from repro.obs import (
+    analyze_artifacts,
+    attach_telemetry,
+    device_snapshot,
+    diff_counters,
+    render_report,
+    request_spans,
+)
 from repro.verify import VERIFY_ARBITER, verify_scenario
 
 
@@ -84,23 +96,56 @@ def main() -> None:
           f"scalar stats WAF {ssd.stats.write_amplification:.3f}")
 
     after = device_snapshot(ssd, host=host)
-    moved = {
-        key: value for key, value in after.delta(before).as_dict().items()
-        if value != 0.0 and not key.endswith("_us")
-    }
-    print(f"\n== Counter registry: {len(moved)} counters moved ==")
-    for key in list(sorted(moved))[:12]:
-        print(f"  {key:40s} {moved[key]:+.0f}")
-    if len(moved) > 12:
-        print(f"  ... and {len(moved) - 12} more")
+    # The run differ doubles as a "what moved" lens within one run: diff
+    # the before/after snapshots with base=0 semantics for new activity.
+    diff = diff_counters(before.as_dict(), after.as_dict(), rel_threshold=0.05)
+    movers = [
+        row for row in diff["changed"] if not row["counter"].endswith("_us")
+    ]
+    print(f"\n== Counter registry: {len(movers)} counters moved ==")
+    for row in movers[:12]:
+        print(f"  {row['counter']:40s} {row['delta']:+.0f}")
+    if len(movers) > 12:
+        print(f"  ... and {len(movers) - 12} more")
+
+    print("\n== Analyzer: where did the time go? ==")
+    spans = request_spans(tracer.trace_events())
+    report = analyze_artifacts(
+        {
+            "trace_events": tracer.trace_events(),
+            "counters": after.delta(before).as_dict(),
+            "metrics": None,
+        }
+    )
+    for op, table in report["requests"]["ops"].items():
+        p99 = table["levels"]["p99"]
+        shares = ", ".join(
+            f"{component} {entry['share']:.0%}"
+            for component, entry in p99["components"].items()
+            if entry["share"] >= 0.05
+        )
+        print(f"  {op}: p99 {p99['latency_us']:.0f} us — {shares}")
+    top = report["tail_blame"]["clusters"][0]
+    print(
+        f"  tail blame: {top['component']} dominates {top['count']} of the "
+        f"{report['tail_blame']['top_k']} slowest requests "
+        f"({len(spans)} spans analyzed)"
+    )
 
     os.makedirs(args.out, exist_ok=True)
     written = telemetry.write_artifacts(args.out)
+    report_path = os.path.join(args.out, "report.md")
+    with open(report_path, "w", encoding="utf-8") as handle:
+        handle.write(render_report(report))
+    written["report"] = report_path
     print("\n== Artifacts ==")
     for name, path in sorted(written.items()):
         print(f"  {name:12s} {path}")
     print("\nLoad the trace at https://ui.perfetto.dev — requests on "
-          "io-slot tracks, NAND ops on chN tracks, GC on the gc track.")
+          "io-slot tracks, NAND ops on chN tracks, GC on the gc track.  "
+          "Re-analyze any artifact directory with `python -m repro.obs "
+          "analyze DIR` and compare two runs with `python -m repro.obs "
+          "diff DIR_A DIR_B`.")
 
 
 if __name__ == "__main__":

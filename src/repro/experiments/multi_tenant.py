@@ -23,7 +23,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.experiments.common import ExperimentSetup, build_ssd, reset_measurement
 from repro.host.arbiter import ARBITERS, TokenBucket
-from repro.obs.registry import device_snapshot
+from repro.obs.registry import CounterSnapshot, device_snapshot
 from repro.host.interface import HostInterface
 from repro.ssd.ssd import SimulatedSSD
 from repro.workloads.multi_tenant import (
@@ -182,11 +182,27 @@ def writer_tenant(scenario: NoisyNeighborScenario) -> TenantWorkload:
     )
 
 
+def _scorecard(
+    delta: Dict[str, float], after: "CounterSnapshot"
+) -> Dict[str, object]:
+    """Per-namespace SLO health over the measured phase.
+
+    The activity counts come from the measured-phase *delta* (so warmup
+    violations don't pollute the burn rate) while the configuration
+    gauges (SLO thresholds, weights) come from the absolute end snapshot
+    — a delta zeroes unchanged gauges out.
+    """
+    from repro.obs.analyze import namespace_scorecard
+
+    card = namespace_scorecard(delta, gauges=after.as_dict())
+    return card["namespaces"]  # type: ignore[no-any-return]
+
+
 def run_noisy_neighbor(
     arbiter: str,
     scenario: Optional[NoisyNeighborScenario] = None,
     include_writer: bool = True,
-) -> Dict[str, Dict[str, float]]:
+) -> Dict[str, Dict[str, object]]:
     """One cell: tenant -> metrics under the given arbiter.
 
     ``include_writer=False`` is the solo baseline: the reader alone on the
@@ -203,14 +219,16 @@ def run_noisy_neighbor(
     # Registry delta over the measured phase: every device counter (GC
     # traffic, WAF inputs, cache behaviour, ...) rides along generically
     # instead of the old hand-picked summary() merging.
-    table["device"] = device_snapshot(ssd, host=host).delta(before).as_dict()
+    after = device_snapshot(ssd, host=host)
+    table["device"] = after.delta(before).as_dict()
+    table["scorecard"] = _scorecard(table["device"], after)
     return table
 
 
 def noisy_neighbor_sweep(
     arbiters: Sequence[str] = ARBITER_CHOICES,
     scenario: Optional[NoisyNeighborScenario] = None,
-) -> Dict[str, Dict[str, Dict[str, float]]]:
+) -> Dict[str, Dict[str, Dict[str, object]]]:
     """arbiter -> tenant -> metrics, plus the reader's ``"solo"`` baseline.
 
     The isolation claim the QoS benchmark pins: under weighted-round-robin
@@ -220,7 +238,7 @@ def noisy_neighbor_sweep(
     lets the writer's bursts inflate it by orders of magnitude.
     """
     scenario = scenario or NoisyNeighborScenario()
-    table: Dict[str, Dict[str, Dict[str, float]]] = {
+    table: Dict[str, Dict[str, Dict[str, object]]] = {
         "solo": run_noisy_neighbor(
             "round_robin", scenario, include_writer=False
         )
@@ -234,7 +252,7 @@ def rate_limit_comparison(
     scenario: Optional[NoisyNeighborScenario] = None,
     writer_bandwidth_pages_per_s: float = 60_000.0,
     arbiter: str = "round_robin",
-) -> Dict[str, Dict[str, Dict[str, float]]]:
+) -> Dict[str, Dict[str, Dict[str, object]]]:
     """Token-bucket QoS: the same scenario with and without a writer cap.
 
     Arbitration shares the *admission* fairly but cannot stop an admitted
@@ -245,7 +263,7 @@ def rate_limit_comparison(
     and the reader a lower p99.
     """
     scenario = scenario or NoisyNeighborScenario()
-    table: Dict[str, Dict[str, Dict[str, float]]] = {}
+    table: Dict[str, Dict[str, Dict[str, object]]] = {}
     for label, capped in (("uncapped", False), ("capped", True)):
         ssd, host = build_tenant_host(scenario, arbiter)
         if capped:
@@ -259,6 +277,8 @@ def rate_limit_comparison(
         before = device_snapshot(ssd, host=host)
         result = host.run([reader_tenant(scenario), writer_tenant(scenario)])
         cell = result.summary()
-        cell["device"] = device_snapshot(ssd, host=host).delta(before).as_dict()
+        after = device_snapshot(ssd, host=host)
+        cell["device"] = after.delta(before).as_dict()
+        cell["scorecard"] = _scorecard(cell["device"], after)
         table[label] = cell
     return table

@@ -11,13 +11,36 @@ Three always-available, zero-cost-when-disabled layers over the simulator:
   registered ``*Stats`` dataclass into one flat namespaced
   :class:`CounterSnapshot` with a delta API.
 
+Two pure post-processing layers turn those artifacts into explanations:
+
+* :mod:`repro.obs.analyze` — per-percentile critical-path latency
+  attribution (:func:`analyze_artifacts`), tail-blame clustering, the
+  per-namespace SLO scorecard (:func:`namespace_scorecard`) and the run
+  differ (:func:`diff_runs` / :func:`diff_counters`);
+* :mod:`repro.obs.report` — deterministic markdown renderers for the
+  analyzer and differ reports.
+
 Enable per run via ``SSDOptions(telemetry="on")`` /
 ``ExperimentSetup(telemetry="on")`` or :func:`attach_telemetry`; run
 ``python -m repro.obs run --scenario multi_tenant --out DIR`` for a
-ready-made traced scenario.  Observers never perturb scheduling:
-``repro.verify`` digests are identical with telemetry on or off.
+ready-made traced scenario, then ``python -m repro.obs analyze DIR`` and
+``python -m repro.obs diff DIR_A DIR_B`` over the artifacts.  Observers
+never perturb scheduling: ``repro.verify`` digests are identical with
+telemetry on or off.
 """
 
+from repro.obs.analyze import (
+    ArtifactError,
+    analyze_artifacts,
+    attribute_requests,
+    diff_counters,
+    diff_metrics,
+    diff_runs,
+    load_artifacts,
+    namespace_scorecard,
+    request_spans,
+    tail_blame,
+)
 from repro.obs.metrics import DEFAULT_METRICS_INTERVAL_US, MetricsSampler
 from repro.obs.registry import (
     CounterSnapshot,
@@ -32,9 +55,11 @@ from repro.obs.session import (
     TelemetryConfig,
     attach_telemetry,
 )
+from repro.obs.report import render_diff, render_report
 from repro.obs.tracing import DEFAULT_TRACE_CAPACITY, Tracer
 
 __all__ = [
+    "ArtifactError",
     "CounterSnapshot",
     "DEFAULT_METRICS_INTERVAL_US",
     "DEFAULT_TRACE_CAPACITY",
@@ -45,7 +70,18 @@ __all__ = [
     "Telemetry",
     "TelemetryConfig",
     "Tracer",
+    "analyze_artifacts",
     "attach_telemetry",
+    "attribute_requests",
     "device_snapshot",
+    "diff_counters",
+    "diff_metrics",
+    "diff_runs",
+    "load_artifacts",
+    "namespace_scorecard",
+    "render_diff",
+    "render_report",
+    "request_spans",
     "snapshot_stats",
+    "tail_blame",
 ]

@@ -1,6 +1,6 @@
-"""``python -m repro.obs`` — run traced scenarios and sanity-check artifacts.
+"""``python -m repro.obs`` — run, check, analyze and diff telemetry runs.
 
-Two subcommands:
+Four subcommands:
 
 ``run --scenario {multi_tenant,steady_state} --out DIR``
     Runs a named, GC-contended scenario with telemetry fully enabled and
@@ -16,15 +16,38 @@ Two subcommands:
     with non-decreasing timestamps and balanced, properly nested B/E
     pairs per (pid, tid) track; the metrics CSV must have a header, at
     least one row, and strictly increasing ``time_us``.
+
+``analyze ARTIFACTS [--out DIR] [--top K]``
+    Post-processes an artifact directory into a latency-attribution and
+    health report (:mod:`repro.obs.analyze`): per-percentile critical-path
+    breakdowns, tail-blame clustering, recovery/GC summaries and the
+    per-namespace SLO scorecard.  With ``--out`` writes ``report.json``
+    and ``report.md``; always prints the p99 headline blame.  Exit code 2
+    on missing or malformed artifacts.
+
+``diff RUN_A RUN_B [--threshold REL] [--out DIR]``
+    Compares two runs' counter snapshots and metric series (aligned on
+    sim-time) into a thresholded regression report.  With ``--out``
+    writes ``diff.json`` and ``diff.md``.  Exit code 2 on missing or
+    malformed artifacts; 0 whether or not anything moved (the report
+    itself says what changed).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.analyze import (
+    ArtifactError,
+    analyze_artifacts,
+    diff_runs,
+    load_artifacts,
+)
+from repro.obs.report import render_diff, render_report
 from repro.obs.session import attach_telemetry
 
 #: Scenario registry of the ``run`` subcommand.
@@ -50,7 +73,8 @@ def run_multi_tenant(scale: float, seed: int) -> Tuple[Any, Any]:
     scenario = verify_scenario(seed=seed, scale=scale)
     ssd, host = build_tenant_host(scenario, VERIFY_ARBITER)
     telemetry = attach_telemetry(ssd, "on", host=host)
-    host.run([reader_tenant(scenario), writer_tenant(scenario)])
+    # A scenario driver, not an observer: driving the sim is its job.
+    host.run([reader_tenant(scenario), writer_tenant(scenario)])  # simlint: disable=SIM008
     return ssd, telemetry
 
 
@@ -81,7 +105,7 @@ def run_steady_state(scale: float, seed: int) -> Tuple[Any, Any]:
     requests = steady_state_workload(
         footprint, num_requests=max(64, int(4000 * scale)), seed=seed
     )
-    ssd.run(requests)
+    ssd.run(requests)  # simlint: disable=SIM008
     return ssd, telemetry
 
 
@@ -209,6 +233,75 @@ def check_metrics_file(path: str) -> List[str]:
 
 
 # --------------------------------------------------------------------------- #
+# Analysis commands
+# --------------------------------------------------------------------------- #
+def _write_report_pair(
+    outdir: str, stem: str, payload: Dict[str, Any], markdown: str
+) -> None:
+    os.makedirs(outdir, exist_ok=True)
+    json_path = os.path.join(outdir, f"{stem}.json")
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    md_path = os.path.join(outdir, f"{stem}.md")
+    with open(md_path, "w", encoding="utf-8") as handle:
+        handle.write(markdown)
+    print(f"{stem}: {json_path}")
+    print(f"{stem}.md: {md_path}")
+
+
+def _analyze_command(args: argparse.Namespace) -> int:
+    artifacts = load_artifacts(args.artifacts)
+    report = analyze_artifacts(artifacts, top_k=args.top)
+    if args.out:
+        _write_report_pair(args.out, "report", report, render_report(report))
+    for op, table in report["requests"].get("ops", {}).items():
+        p99 = table["levels"].get("p99")
+        if p99 is None:
+            continue
+        print(
+            f"{op}: p99 {p99['latency_us']:.3f} us over {table['count']} "
+            f"requests, dominant component {p99['dominant']}"
+        )
+    clusters = report["tail_blame"].get("clusters", [])
+    if clusters:
+        top = clusters[0]
+        print(
+            f"tail blame: {top['component']} dominates "
+            f"{top['count']}/{report['tail_blame']['top_k']} slowest requests"
+        )
+    for entry in report.get("recovery", []):
+        print(f"recovery: {entry['phase']} {entry['makespan_us']:.3f} us")
+    for name, ns in report.get("scorecard", {}).get("namespaces", {}).items():
+        print(
+            f"namespace {name}: {ns['status']} "
+            f"(burn rate {ns['burn_rate']:.2f}, "
+            f"{int(ns['slo_violations'])} violations)"
+        )
+    return 0
+
+
+def _diff_command(args: argparse.Namespace) -> int:
+    diff = diff_runs(args.run_a, args.run_b, rel_threshold=args.threshold)
+    if args.out:
+        _write_report_pair(args.out, "diff", diff, render_diff(diff))
+    counters = diff["counters"]
+    metrics = diff["metrics"]
+    print(
+        f"counters: {len(counters['changed'])} of {counters['compared']} moved "
+        f"past {counters['threshold']:.0%}"
+    )
+    print(
+        f"metrics: {len(metrics['changed'])} series moved "
+        f"({metrics['aligned_samples']} aligned samples)"
+    )
+    for row in counters["changed"][:10]:
+        rel = "new" if row["rel"] is None else f"{row['rel']:+.1%}"
+        print(f"  {row['counter']}: {row['base']:g} -> {row['current']:g} ({rel})")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
 # CLI
 # --------------------------------------------------------------------------- #
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -228,7 +321,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     check_parser.add_argument("trace", help="path to a Chrome trace JSON")
     check_parser.add_argument("--metrics", help="path to a metrics CSV")
 
+    analyze_parser = sub.add_parser(
+        "analyze", help="attribution + health report over an artifact directory"
+    )
+    analyze_parser.add_argument("artifacts", help="artifact directory from `run`")
+    analyze_parser.add_argument("--out", help="write report.json / report.md here")
+    analyze_parser.add_argument(
+        "--top", type=int, default=12, help="tail-blame cluster size (default 12)"
+    )
+
+    diff_parser = sub.add_parser(
+        "diff", help="regression report between two artifact directories"
+    )
+    diff_parser.add_argument("run_a", help="base artifact directory")
+    diff_parser.add_argument("run_b", help="candidate artifact directory")
+    diff_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.05,
+        help="relative-change reporting threshold (default 0.05)",
+    )
+    diff_parser.add_argument("--out", help="write diff.json / diff.md here")
+
     args = parser.parse_args(argv)
+
+    if args.command in ("analyze", "diff"):
+        try:
+            if args.command == "analyze":
+                return _analyze_command(args)
+            return _diff_command(args)
+        except ArtifactError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     if args.command == "run":
         driver = run_multi_tenant if args.scenario == "multi_tenant" else run_steady_state

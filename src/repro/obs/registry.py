@@ -198,7 +198,14 @@ def device_snapshot(ssd: Any, host: Any = None) -> CounterSnapshot:
     if host is not None:
         ns_prefix = REGISTERED_STATS["NamespaceStats"]
         for name, namespace in sorted(host.namespaces.items()):
-            counters.update(
-                snapshot_stats(namespace.stats, f"{ns_prefix}.{name}")
-            )
+            prefix = f"{ns_prefix}.{name}"
+            counters.update(snapshot_stats(namespace.stats, prefix))
+            # Namespace configuration gauges: SLO thresholds and QoS
+            # weights, so downstream consumers (the health scorecard in
+            # repro.obs.analyze) can judge the counters against the SLOs
+            # from the snapshot alone.  Absent SLOs export as 0.0.
+            counters[f"{prefix}.slo_read_us"] = float(namespace.slo_read_us or 0.0)
+            counters[f"{prefix}.slo_write_us"] = float(namespace.slo_write_us or 0.0)
+            counters[f"{prefix}.weight"] = float(namespace.weight)
+            counters[f"{prefix}.priority"] = float(namespace.priority)
     return CounterSnapshot(counters)

@@ -1,0 +1,278 @@
+"""Markdown renderers for the analyzer and differ reports.
+
+The JSON reports from :mod:`repro.obs.analyze` are the machine-readable
+artifacts; this module turns them into the human-readable ``report.md`` /
+``diff.md`` companions.  Rendering is deliberately dumb — it walks the
+already-deterministic report structures in order and formats floats with
+fixed precision, so same-seed runs render byte-identical markdown.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping, Optional
+
+from repro.obs.analyze import COMPONENT_LABELS
+
+
+def _us(value: float) -> str:
+    return f"{value:.3f}"
+
+
+def _pct(value: float) -> str:
+    return f"{value * 100.0:.1f}%"
+
+
+def _label(component: str) -> str:
+    return COMPONENT_LABELS.get(component, component)
+
+
+def _table(header: List[str], rows: List[List[str]]) -> List[str]:
+    lines = ["| " + " | ".join(header) + " |"]
+    lines.append("|" + "|".join(" --- " for _ in header) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return lines
+
+
+def _render_attribution(requests: Mapping[str, Any]) -> List[str]:
+    lines: List[str] = ["## Latency attribution", ""]
+    total = requests.get("requests", 0)
+    if not total:
+        lines.append("No completed request spans in the trace.")
+        lines.append("")
+        return lines
+    lines.append(f"{total} completed requests.")
+    lines.append("")
+    for op, table in requests.get("ops", {}).items():
+        op_name = {"R": "Reads", "W": "Writes"}.get(op, f"Op {op}")
+        lines.append(f"### {op_name} ({table['count']} requests)")
+        lines.append("")
+        levels = table.get("levels", {})
+        for level_name, level in levels.items():
+            components = level.get("components", {})
+            title = (
+                "All requests (mean)"
+                if level_name == "all"
+                else f"{level_name} cohort (latency >= {_us(level['latency_us'])} us, "
+                f"{level['count']} requests)"
+            )
+            lines.append(f"**{title}** — dominant: {_label(level.get('dominant', ''))}")
+            lines.append("")
+            rows = [
+                [_label(key), _us(entry["mean_us"]), _pct(entry["share"])]
+                for key, entry in components.items()
+                if entry["mean_us"] != 0.0
+            ]
+            lines.extend(_table(["component", "mean us", "share"], rows))
+            lines.append("")
+    return lines
+
+
+def _render_tail_blame(blame: Mapping[str, Any]) -> List[str]:
+    lines: List[str] = ["## Tail blame", ""]
+    if not blame.get("top_k"):
+        lines.append("No requests to blame.")
+        lines.append("")
+        return lines
+    lines.append(
+        f"Top {blame['top_k']} slowest requests, clustered by dominant component:"
+    )
+    lines.append("")
+    rows = [
+        [
+            _label(cluster["component"]),
+            str(cluster["count"]),
+            _us(cluster["mean_latency_us"]),
+            _pct(cluster["mean_share"]),
+            ",".join(cluster["ops"]),
+            ",".join(cluster["queues"]) or "-",
+        ]
+        for cluster in blame.get("clusters", [])
+    ]
+    lines.extend(
+        _table(
+            ["dominant component", "requests", "mean latency us", "mean share", "ops", "queues"],
+            rows,
+        )
+    )
+    lines.append("")
+    return lines
+
+
+def _render_recovery(phases: List[Mapping[str, Any]]) -> List[str]:
+    if not phases:
+        return []
+    lines: List[str] = ["## Recovery", ""]
+    for phase in phases:
+        extras = ", ".join(
+            f"{key}={phase[key]}"
+            for key in sorted(phase)
+            if key not in ("phase", "start_us", "makespan_us")
+        )
+        line = f"- `{phase['phase']}`: {_us(phase['makespan_us'])} us"
+        if extras:
+            line += f" ({extras})"
+        lines.append(line)
+    lines.append("")
+    return lines
+
+
+def _render_gc(stages: Mapping[str, Mapping[str, float]]) -> List[str]:
+    if not stages:
+        return []
+    lines: List[str] = ["## Background GC stages", ""]
+    rows = [
+        [name, str(int(entry["count"])), _us(entry["total_us"])]
+        for name, entry in stages.items()
+    ]
+    lines.extend(_table(["stage", "spans", "total us"], rows))
+    lines.append("")
+    return lines
+
+
+def _render_scorecard(card: Mapping[str, Any]) -> List[str]:
+    lines: List[str] = ["## Namespace health", ""]
+    namespaces = card.get("namespaces", {})
+    if not namespaces:
+        lines.append("No per-namespace counters in the snapshot.")
+        lines.append("")
+    else:
+        lines.append(f"Error budget: {_pct(card.get('error_budget', 0.0))} of requests.")
+        lines.append("")
+        rows = []
+        for name, entry in namespaces.items():
+            rows.append(
+                [
+                    name,
+                    entry["status"],
+                    str(int(entry["completed"])),
+                    str(int(entry["slo_violations"])),
+                    f"{entry['burn_rate']:.2f}",
+                    _us(entry["mean_queue_wait_us"]),
+                    _us(entry["read_p99_us"]),
+                    _us(entry["write_p99_us"]),
+                ]
+            )
+        lines.extend(
+            _table(
+                [
+                    "namespace",
+                    "status",
+                    "completed",
+                    "violations",
+                    "burn rate",
+                    "mean queue wait us",
+                    "read p99 us",
+                    "write p99 us",
+                ],
+                rows,
+            )
+        )
+        lines.append("")
+        for name, entry in namespaces.items():
+            windows = entry.get("violation_windows") or []
+            if not windows:
+                continue
+            lines.append(f"Violation windows for `{name}` (sim-time):")
+            for window in windows[:8]:
+                lines.append(
+                    f"- [{_us(window['start_us'])}, {_us(window['end_us'])}) us: "
+                    f"{int(window['violations'])} violations"
+                )
+            if len(windows) > 8:
+                lines.append(f"- ... {len(windows) - 8} more windows")
+            lines.append("")
+    saturation = card.get("saturation")
+    if saturation:
+        lines.append("Device saturation (from the metrics series):")
+        for key in sorted(saturation):
+            value = saturation[key]
+            if isinstance(value, dict):
+                inner = ", ".join(f"{k}={v:g}" for k, v in sorted(value.items()))
+                lines.append(f"- {key}: {inner}")
+            elif isinstance(value, float):
+                lines.append(f"- {key}: {value:.4f}")
+            else:
+                lines.append(f"- {key}: {value}")
+        lines.append("")
+    return lines
+
+
+def render_report(report: Mapping[str, Any]) -> str:
+    """Render an :func:`repro.obs.analyze.analyze_artifacts` report."""
+    lines: List[str] = ["# Device report", ""]
+    lines.extend(_render_attribution(report.get("requests", {})))
+    lines.extend(_render_tail_blame(report.get("tail_blame", {})))
+    lines.extend(_render_recovery(report.get("recovery", [])))
+    lines.extend(_render_gc(report.get("gc_stages", {})))
+    scorecard = report.get("scorecard")
+    if scorecard is not None:
+        lines.extend(_render_scorecard(scorecard))
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _rel_cell(rel: Optional[float]) -> str:
+    return "new" if rel is None else _pct(rel)
+
+
+def render_diff(diff: Mapping[str, Any]) -> str:
+    """Render a :func:`repro.obs.analyze.diff_runs` report."""
+    lines: List[str] = ["# Run diff", ""]
+    threshold = diff.get("threshold", 0.0)
+    lines.append(f"Relative-change threshold: {_pct(threshold)}.")
+    lines.append("")
+    counters = diff.get("counters", {})
+    changed = counters.get("changed", [])
+    lines.append("## Counters")
+    lines.append("")
+    if not changed:
+        lines.append(
+            f"No counter moved past the threshold "
+            f"({counters.get('compared', 0)} compared)."
+        )
+        lines.append("")
+    else:
+        rows = [
+            [
+                f"`{row['counter']}`",
+                f"{row['base']:g}",
+                f"{row['current']:g}",
+                f"{row['delta']:+g}",
+                _rel_cell(row["rel"]),
+            ]
+            for row in changed
+        ]
+        lines.extend(_table(["counter", "base", "current", "delta", "rel"], rows))
+        lines.append("")
+    metrics = diff.get("metrics", {})
+    lines.append("## Metric series")
+    lines.append("")
+    if not metrics.get("aligned_samples"):
+        lines.append("No aligned metric samples to compare.")
+        lines.append("")
+    elif not metrics.get("changed"):
+        lines.append(
+            f"No series mean moved past the threshold "
+            f"({metrics['aligned_samples']} aligned samples)."
+        )
+        lines.append("")
+    else:
+        rows = [
+            [
+                f"`{row['column']}`",
+                f"{row['base_mean']:.4f}",
+                f"{row['current_mean']:.4f}",
+                f"{row['delta_mean']:+.4f}",
+                _rel_cell(row["rel"]),
+                f"{row['max_abs_diff']:.4f}",
+            ]
+            for row in metrics["changed"]
+        ]
+        lines.extend(
+            _table(
+                ["series", "base mean", "current mean", "delta", "rel", "max abs diff"],
+                rows,
+            )
+        )
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

@@ -92,7 +92,9 @@ class Telemetry:
             else None
         )
         if self.tracer is not None:
-            ssd.scheduler.probe = self.tracer.nand_op
+            # Attachment is the one sanctioned mutation: installing the
+            # read-only NAND probe on the scheduler.
+            ssd.scheduler.probe = self.tracer.nand_op  # simlint: disable=SIM008
 
     # ------------------------------------------------------------------ #
     # Hooks called by the device model (each guarded by `is not None`)
@@ -118,6 +120,32 @@ class Telemetry:
     def note_checkpoint(self, start_us: float, finish_us: float, pages: int) -> None:
         if self.tracer is not None:
             self.tracer.note_checkpoint(start_us, finish_us, pages)
+
+    @property
+    def wants_breakdowns(self) -> bool:
+        """Whether the device should compute critical-path breakdowns.
+
+        Only meaningful while a tracer records request spans — there is
+        nothing to attach a breakdown to otherwise, so the device skips
+        the accounting entirely.
+        """
+        return self.tracer is not None
+
+    def note_request_breakdown(
+        self, components: Dict[str, float], total_us: float
+    ) -> None:
+        if self.tracer is not None:
+            self.tracer.note_request_breakdown(components, total_us)
+
+    def note_recovery(
+        self,
+        name: str,
+        start_us: float,
+        finish_us: float,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if self.tracer is not None:
+            self.tracer.note_recovery(name, start_us, finish_us, args)
 
     def finalize(self, now_us: float) -> None:
         """End-of-run: close the metrics series at the final sim time."""
@@ -171,8 +199,8 @@ def attach_telemetry(
     """
     config = TelemetryConfig.coerce(telemetry)
     if config.mode == "off":
-        ssd.telemetry = None
+        ssd.telemetry = None  # simlint: disable=SIM008
         return None
     session = Telemetry(ssd, config, host=host)
-    ssd.telemetry = session
+    ssd.telemetry = session  # simlint: disable=SIM008
     return session

@@ -36,9 +36,15 @@ tid       track
 3         ``gc`` — background GC pipeline stages
 4         ``background`` — flush/GC/wear completion instants
 5         ``translate`` — translation-page flash I/O (may overlap)
+6         ``recovery`` — power-fail recovery phases (scan / replay)
 10 + c    ``ch<c>`` — NAND channel-bus reservations
 100 + s   ``io-slot-<s>`` — request lifecycle spans (slot = NCQ slot)
 ========  =====================================================
+
+Request spans additionally carry the device's critical-path breakdown in
+their ``args`` (``breakdown``: component -> microseconds, ``device_us``:
+in-device latency) when the device computes one — the raw material of
+:mod:`repro.obs.analyze`.
 """
 
 from __future__ import annotations
@@ -56,6 +62,7 @@ _TID_ARRIVALS = 2
 _TID_GC = 3
 _TID_BACKGROUND = 4
 _TID_TRANSLATE = 5
+_TID_RECOVERY = 6
 _TID_CHANNEL_BASE = 10
 _TID_SLOT_BASE = 100
 
@@ -90,6 +97,11 @@ class Tracer:
         self.max_slots = 0
         #: Open GC stage: ``(span name, start_ts, victim block)`` or None.
         self._gc_open: Optional[Tuple[str, float, Optional[int]]] = None
+        #: ``id(request)`` of the most recently issued request.  The device
+        #: submits synchronously inside the ``request_issue`` callback (the
+        #: tracer's observer runs first), so a breakdown arriving mid-submit
+        #: belongs to this span; any completion clears it.
+        self._last_issued: Optional[int] = None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -178,11 +190,13 @@ class Tracer:
         if ready_us is not None:
             args["queue_wait_us"] = max(0.0, event.time_us - ready_us)
         self._active[id(request)] = (slot, event.time_us, op, args)
+        self._last_issued = id(request)
 
     def _on_complete(self, event: Event) -> None:
         request, _queue, _ready_us = self._request_of(event.payload)
         if request is None:
             return
+        self._last_issued = None
         opened = self._active.pop(id(request), None)
         if opened is None:
             return
@@ -250,6 +264,45 @@ class Tracer:
         else:
             self._add("instant", _TID_TRANSLATE, start_us, 0.0, "translate", args)
 
+    def note_request_breakdown(
+        self, components: Dict[str, float], total_us: float
+    ) -> None:
+        """Critical-path components of the request the device is serving.
+
+        Called from inside :meth:`repro.ssd.ssd.SimulatedSSD.submit`, i.e.
+        during the ``request_issue`` callback that follows :meth:`_on_issue`
+        — the components attach to the span opened there.  Submissions that
+        opened no span (the serial fast path, open-loop device replay)
+        are silently dropped: there is no span to annotate.
+        """
+        last = self._last_issued
+        if last is None:
+            return
+        opened = self._active.get(last)
+        if opened is None:
+            return
+        args = opened[3]
+        args["device_us"] = total_us
+        if components:
+            args["breakdown"] = dict(components)
+
+    def note_recovery(
+        self,
+        name: str,
+        start_us: float,
+        finish_us: float,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """A power-fail recovery phase ran (:func:`repro.ssd.recovery.recover`).
+
+        ``name`` is ``"recovery_scan"`` (full OOB scan) or
+        ``"recovery_replay"`` (checkpoint restore + delta replay); the span
+        covers the recovery I/O makespan on the ``recovery`` track.
+        """
+        self._add(
+            "x", _TID_RECOVERY, start_us, max(0.0, finish_us - start_us), name, args
+        )
+
     def note_checkpoint(self, start_us: float, finish_us: float, pages: int) -> None:
         """A mapping checkpoint was persisted (``MappingCheckpointer.take``)."""
         self._add(
@@ -276,6 +329,8 @@ class Tracer:
             return "background"
         if tid == _TID_TRANSLATE:
             return "translate"
+        if tid == _TID_RECOVERY:
+            return "recovery"
         if _TID_CHANNEL_BASE <= tid < _TID_SLOT_BASE:
             return f"ch{tid - _TID_CHANNEL_BASE}"
         return f"io-slot-{tid - _TID_SLOT_BASE}"

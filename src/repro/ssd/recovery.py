@@ -342,6 +342,20 @@ def recover(ssd: SimulatedSSD, mode: str = "oob_scan") -> RecoveryResult:
     ssd._advance(finish)
     ssd._prev_flush_finish_us = max(ssd._prev_flush_finish_us, finish)
 
+    telemetry = getattr(ssd, "telemetry", None)
+    if telemetry is not None:
+        telemetry.note_recovery(
+            "recovery_scan" if mode == "oob_scan" else "recovery_replay",
+            start,
+            finish,
+            {
+                "flash_reads": flash_reads,
+                "checkpoint_pages_read": checkpoint_pages_read,
+                "replayed_pages": replayed_pages,
+                "recovered_lpas": len(rebuilt),
+            },
+        )
+
     return RecoveryResult(
         mode=mode,
         flash_reads=flash_reads,

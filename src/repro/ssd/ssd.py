@@ -256,6 +256,23 @@ class SimulatedSSD:
         #: duck-typed for the same import-cycle reason as ``checkpointer``.
         #: ``None`` (telemetry off) keeps every hook at one predicate.
         self.telemetry: Optional[Any] = None
+        #: Critical-path attribution of the host request currently inside
+        #: :meth:`submit`: a component -> microseconds dict, or ``None``
+        #: when breakdown capture is off (the telemetry session asks for it
+        #: only while a tracer records spans).  Every accounting site below
+        #: guards on ``is not None``, so the disabled path costs one
+        #: predicate per site and allocates nothing.
+        self._attr: Optional[Dict[str, float]] = None
+        #: Component dict of the *page* currently resolving on the read
+        #: path; multi-page commands keep only the slowest page's dict
+        #: (the critical path), tracked via ``_attr_best``.
+        self._page_attr: Optional[Dict[str, float]] = None
+        self._attr_best: Optional[Dict[str, float]] = None
+        self._attr_best_finish = 0.0
+        #: Completion horizon of the last urgent (hard-watermark) reclaim;
+        #: write backpressure up to this horizon is GC throttling, beyond
+        #: it plain flush-drain wait.
+        self._throttle_horizon_us = 0.0
         if self.options.telemetry != "off":
             # Lazy import: repro.obs sits above this module in the layer
             # stack (its registry imports repro.ssd.stats).
@@ -407,10 +424,20 @@ class SimulatedSSD:
         buffer.add(lpa)
 
         latency = self.config.dram_latency_us
+        attr = self._attr
+        if attr is not None:
+            attr["dram_us"] = attr.get("dram_us", 0.0) + latency
         if buffer.is_full:
             # Double-buffering backpressure: if the previous flush is still
             # draining to flash, this write waits for it.
             wait = max(0.0, self._prev_flush_finish_us - start)
+            if wait > 0.0 and attr is not None:
+                key = (
+                    "gc_wait_us"
+                    if self._prev_flush_finish_us <= self._throttle_horizon_us
+                    else "flush_wait_us"
+                )
+                attr[key] = attr.get(key, 0.0) + wait
             latency += wait
             done = start + latency
             if done > self._now_us:
@@ -536,12 +563,17 @@ class SimulatedSSD:
         stats.host_reads += 1
         stats.host_read_pages += 1
 
+        attr = self._attr
         if lpa in self.write_buffer:
             stats.buffer_hits += 1
             latency = self.config.dram_latency_us
+            if attr is not None:
+                attr["dram_us"] = attr.get("dram_us", 0.0) + latency
         elif self.cache.lookup(lpa):
             stats.cache_hits += 1
             latency = self.config.dram_latency_us
+            if attr is not None:
+                attr["dram_us"] = attr.get("dram_us", 0.0) + latency
         else:
             latency = self._read_from_flash(lpa, start)
         done = start + latency
@@ -564,19 +596,47 @@ class SimulatedSSD:
         stall = finish - clock - self.config.read_latency_us
         if stall > 0.0:
             self.stats.read_stall_us += stall
+        page_attr = self._page_attr
+        if page_attr is not None:
+            if stall > 0.0:
+                # Stalls while the GC pipeline is mid-victim (or a sync
+                # reclaim is in progress) are GC interference; otherwise
+                # the read queued behind ordinary channel traffic (flush
+                # programs, other requests, translation I/O).
+                key = (
+                    "gc_wait_us"
+                    if (self._in_gc or self._bg_gc.running)
+                    else "chan_wait_us"
+                )
+                page_attr[key] = page_attr.get(key, 0.0) + stall
+                page_attr["nand_us"] = (
+                    page_attr.get("nand_us", 0.0) + (finish - clock - stall)
+                )
+            else:
+                page_attr["nand_us"] = page_attr.get("nand_us", 0.0) + (finish - clock)
         return finish
 
     def _read_from_flash(self, lpa: int, start: float) -> float:
         translation = self.ftl.translate(lpa)
         clock = self._sync_translation_counters(start, foreground=True)
+        attr = self._attr
+        if attr is not None and clock > start:
+            attr["translate_us"] = attr.get("translate_us", 0.0) + (clock - start)
 
         if translation.ppa is None:
             # Reading unwritten space: served as zeroes from the controller.
             self.stats.unmapped_reads += 1
+            if attr is not None:
+                attr["dram_us"] = (
+                    attr.get("dram_us", 0.0) + self.config.dram_latency_us
+                )
             return max(clock - start, 0.0) + self.config.dram_latency_us
 
         self.stats.translation_lookups += 1
+        # Single-page command: the page's components are the request's.
+        self._page_attr = attr
         finish = self._read_resolved_page(lpa, translation.ppa, clock)
+        self._page_attr = None
         self.stats.flash_reads_for_host += 1
         self.cache.insert(lpa, dirty=False)
         return finish - start
@@ -591,6 +651,7 @@ class SimulatedSSD:
         OOB reverse mapping at one extra flash read.
         """
         flash = self.flash
+        page_attr = self._page_attr
         if not 0 <= ppa < flash.geometry.total_pages or flash.is_free(ppa):
             # The learned model pointed past the programmed region of a block
             # (or, within gamma of the array edges, past the array itself):
@@ -598,14 +659,29 @@ class SimulatedSSD:
             # correct from its OOB, which keeps the cost at two flash reads.
             fallback = self._nearest_programmed_page(lpa, ppa)
             if fallback is None:
-                return self._fail_translation(lpa, ppa, clock)
+                finish = self._fail_translation(lpa, ppa, clock)
+                if page_attr is not None and finish > clock:
+                    page_attr["extra_read_us"] = (
+                        page_attr.get("extra_read_us", 0.0) + (finish - clock)
+                    )
+                return finish
             finish = self._timed_host_read(fallback, clock)
             if flash.lpa_of(fallback) != lpa:
-                finish = self._correct_misprediction(lpa, ppa, fallback, finish)
+                corrected = self._correct_misprediction(lpa, ppa, fallback, finish)
+                if page_attr is not None and corrected > finish:
+                    page_attr["extra_read_us"] = (
+                        page_attr.get("extra_read_us", 0.0) + (corrected - finish)
+                    )
+                finish = corrected
             return finish
         finish = self._timed_host_read(ppa, clock)
         if flash.lpa_of(ppa) != lpa:
-            finish = self._correct_misprediction(lpa, ppa, ppa, finish)
+            corrected = self._correct_misprediction(lpa, ppa, ppa, finish)
+            if page_attr is not None and corrected > finish:
+                page_attr["extra_read_us"] = (
+                    page_attr.get("extra_read_us", 0.0) + (corrected - finish)
+                )
+            finish = corrected
         return finish
 
     def _nearest_programmed_page(self, lpa: int, predicted_ppa: int) -> Optional[int]:
@@ -748,6 +824,7 @@ class SimulatedSSD:
         if stall > 0.0:
             self.stats.gc_write_throttle_us += stall
             self._prev_flush_finish_us = max(self._prev_flush_finish_us, finish)
+            self._throttle_horizon_us = max(self._throttle_horizon_us, finish)
 
     def _bounded_victims(self, victims: Sequence[int]) -> List[int]:
         """Prefix of ``victims`` whose migration fits the current free pool.
@@ -920,13 +997,26 @@ class SimulatedSSD:
             self.stats.clipped_pages += lpa + npages - (end if end > lpa else lpa)
             if end <= lpa:
                 return clock
-        if op == "W":
-            for page in range(lpa, end):
-                clock += self.write(page, at_us=clock)
-            return clock
-        if end - lpa == 1:
-            return clock + self.read(lpa, at_us=clock)
-        return self._read_multi(lpa, end - lpa, clock)
+        telemetry = self.telemetry
+        attr: Optional[Dict[str, float]] = None
+        if telemetry is not None and getattr(telemetry, "wants_breakdowns", False):
+            attr = {}
+            self._attr = attr
+        start = clock
+        try:
+            if op == "W":
+                for page in range(lpa, end):
+                    clock += self.write(page, at_us=clock)
+                finish = clock
+            elif end - lpa == 1:
+                finish = clock + self.read(lpa, at_us=clock)
+            else:
+                finish = self._read_multi(lpa, end - lpa, clock)
+        finally:
+            self._attr = None
+        if attr is not None:
+            telemetry.note_request_breakdown(attr, finish - start)
+        return finish
 
     def _read_multi(self, lpa: int, npages: int, start: float) -> float:
         """Serve one multi-page read command as a batch; returns completion.
@@ -943,6 +1033,10 @@ class SimulatedSSD:
         """
         self.stats.host_reads += npages
         self.stats.host_read_pages += npages
+        attr = self._attr
+        if attr is not None:
+            self._attr_best = None
+            self._attr_best_finish = start
         finish = start
         runs: List[List[int]] = []
         for page in range(lpa, lpa + npages):
@@ -959,12 +1053,23 @@ class SimulatedSSD:
             latency = self.config.dram_latency_us
             self.stats.read_latency.record(latency)
             done = start + latency
+            if attr is not None and done >= self._attr_best_finish:
+                self._attr_best = {"dram_us": latency}
+                self._attr_best_finish = done
             if done > finish:
                 finish = done
         for run in runs:
             done = self._read_run_from_flash(run, start)
             if done > finish:
                 finish = done
+        if attr is not None:
+            # The command completes when its slowest page does, so that
+            # page's components *are* the request's critical path.
+            best = self._attr_best
+            if best is not None:
+                for key, value in best.items():
+                    attr[key] = attr.get(key, 0.0) + value
+            self._attr_best = None
         self._advance(finish)
         return finish
 
@@ -978,6 +1083,8 @@ class SimulatedSSD:
         """
         translations = self.ftl.translate_range(pages[0], len(pages))
         clock = self._sync_translation_counters(start, foreground=True)
+        attr = self._attr
+        translate_us = clock - start if clock > start else 0.0
         finish = start
         chunks: Dict[int, List[Tuple[int, int]]] = {}
         for page, translation in zip(pages, translations):
@@ -987,6 +1094,12 @@ class SimulatedSSD:
                 latency = max(clock - start, 0.0) + self.config.dram_latency_us
                 self.stats.read_latency.record(latency)
                 done = start + latency
+                if attr is not None and done >= self._attr_best_finish:
+                    candidate = {"dram_us": self.config.dram_latency_us}
+                    if translate_us > 0.0:
+                        candidate["translate_us"] = translate_us
+                    self._attr_best = candidate
+                    self._attr_best_finish = done
                 if done > finish:
                     finish = done
                 continue
@@ -1000,7 +1113,22 @@ class SimulatedSSD:
         read_resolved = self._read_resolved_page
         for channel in sorted(chunks):
             for page, ppa in chunks[channel]:
+                if attr is not None:
+                    page_dict: Dict[str, float] = {}
+                    self._page_attr = page_dict
                 page_finish = read_resolved(page, ppa, clock)
+                if attr is not None:
+                    self._page_attr = None
+                    if page_finish >= self._attr_best_finish:
+                        # This run's foreground translation I/O is serial
+                        # with every page of the run, so the critical-path
+                        # page inherits it.
+                        if translate_us > 0.0:
+                            page_dict["translate_us"] = (
+                                page_dict.get("translate_us", 0.0) + translate_us
+                            )
+                        self._attr_best = page_dict
+                        self._attr_best_finish = page_finish
                 stats.flash_reads_for_host += 1
                 insert(page, dirty=False)
                 record_latency(page_finish - start)

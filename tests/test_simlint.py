@@ -41,6 +41,7 @@ FIXTURE_OF_RULE = {
     "SIM005": "sim005_mutable_defaults.py",
     "SIM006": "sim006_stats_counters.py",
     "SIM007": "sim007_registry_coverage.py",
+    "SIM008": "sim008_observer_purity.py",
 }
 
 

@@ -766,3 +766,93 @@ class RegistryCoverage(Rule):
                         "registry-exportable; make it numeric or add an "
                         "EXCLUDED_FIELDS entry explaining what covers it",
                     )
+
+
+# --------------------------------------------------------------------------- #
+# SIM008 — observer purity in the telemetry layer
+# --------------------------------------------------------------------------- #
+#: Method names that drive or mutate the simulation.  Deliberately short
+#: and high-confidence: the generic attribute-assignment check catches
+#: arbitrary state writes, so this set only needs the sanctioned entry
+#: points an observer could be tempted to call.  ``write``/``read`` are
+#: absent (file handles), as are ``append``/``pop``/``update`` (an
+#: observer's own collections).
+_SIM008_MUTATORS = frozenset(
+    {
+        "submit",
+        "power_fail",
+        "erase",
+        "erase_block",
+        "program",
+        "program_run",
+        "recover",
+        "run",
+        "run_frontend",
+        "flush",
+        "begin_measurement",
+        "quiesce",
+        "maybe_start",
+        "drain",
+        "discard",
+    }
+)
+
+
+@register
+class ObserverPurity(Rule):
+    code = "SIM008"
+    name = "observer-purity"
+    rationale = (
+        "Telemetry must observe, never steer: code under src/repro/obs "
+        "runs inside the event loop's observer fan-out, so a stray "
+        "attribute write or a call into a simulation entry point would "
+        "perturb scheduling and break the digests-identical guarantee.  "
+        "Observers may only assign to self; driving the sim belongs in "
+        "scenario drivers with an explicit disable."
+    )
+    default_paths = ("src/repro/obs",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets: list = []
+                if isinstance(node, ast.Assign):
+                    targets = list(node.targets)
+                elif node.value is not None:
+                    targets = [node.target]
+                for target in targets:
+                    # Tuple targets: `a.x, b = ...` unpacks into elements.
+                    elements = (
+                        list(target.elts)
+                        if isinstance(target, (ast.Tuple, ast.List))
+                        else [target]
+                    )
+                    for element in elements:
+                        if not isinstance(element, ast.Attribute):
+                            continue
+                        base = element.value
+                        # `self.anything = ...` (but not `self.x.y = ...`)
+                        # is the observer's own state; everything else is
+                        # foreign.
+                        if isinstance(base, ast.Name) and base.id == "self":
+                            continue
+                        yield from self.emit(
+                            ctx,
+                            node,
+                            f"observer assigns to foreign attribute "
+                            f"{ast.unparse(element)!r}; telemetry may only "
+                            "mutate self",
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _SIM008_MUTATORS
+                ):
+                    yield from self.emit(
+                        ctx,
+                        node,
+                        f"observer calls simulation mutator "
+                        f"{ast.unparse(func)!r}; telemetry must not drive "
+                        "the sim",
+                    )
